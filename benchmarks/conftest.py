@@ -1,0 +1,13 @@
+"""Shared benchmark fixtures: one chip/PSA context per session."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.context import ExperimentContext
+
+
+@pytest.fixture(scope="session")
+def ctx() -> ExperimentContext:
+    """The shared experiment context (coupling matrices built once)."""
+    return ExperimentContext.build()

@@ -1,0 +1,47 @@
+"""Ablations — the design choices behind the PSA.
+
+Covers: programmed sensor size vs Trojan coupling (the "match the HT
+size" claim and the single-coil self-cancellation), turn count vs
+coupling, and current-kernel duty vs even-harmonic suppression (why
+the sidebands live around the 1st/3rd harmonics).
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.ablations import (
+    format_ablations,
+    run_duty_sweep,
+    run_size_sweep,
+    run_turns_sweep,
+)
+
+
+def test_ablations(benchmark, ctx):
+    def run():
+        return (
+            run_size_sweep(ctx),
+            run_turns_sweep(ctx),
+            run_duty_sweep(),
+        )
+
+    size, turns, duty = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    # Size sweep: a Trojan-scale coil beats the whole-chip loop by a
+    # wide margin (self-cancellation), and the optimum is small.
+    assert size.best_size <= 11
+    whole_chip = size.trojan_coupling[size.sizes_pitches.index(35)]
+    assert size.trojan_coupling.max() > 5 * whole_chip
+
+    # Turns sweep: coupling grows monotonically with turns for the
+    # standard sensor (every added turn still encloses the cluster).
+    coupling = turns.trojan_coupling
+    assert all(coupling[i] < coupling[i + 1] for i in range(len(coupling) - 1))
+
+    # Duty sweep: even harmonics are most suppressed at 50 % duty.
+    assert duty.min_ratio_duty == pytest.approx(0.5, abs=0.06)
+    edge = duty.even_odd_ratio_db[np.argmin(np.abs(duty.duties - 0.15))]
+    center = duty.even_odd_ratio_db.min()
+    assert center < edge - 20.0
+    print()
+    print(format_ablations(size, turns, duty))

@@ -1,0 +1,40 @@
+"""Figure 4 — Trojan-active vs inactive spectra per sensor.
+
+Paper: prominent components at 48 MHz / 84 MHz show up at sensor 10
+when any of T1..T4 is active; sensor 0 shows "hardly any spectrum
+difference" (the spatial-resolution claim).
+"""
+
+import pytest
+
+from repro.experiments.fig4 import format_fig4, run_fig4
+
+
+def test_fig4_sensor_spectra(benchmark, ctx):
+    result = benchmark.pedantic(
+        lambda: run_fig4(ctx, n_traces=3), rounds=1, iterations=1
+    )
+    # Every Trojan raises the sensor-10 sideband feature strongly.
+    for trojan, panel in result.sensor10.items():
+        assert panel.sideband_delta_db > 6.0, trojan
+        assert panel.prominent, trojan
+    # T1's prominent components are exactly the paper's 48/84 MHz.
+    t1_freqs = sorted(f for f, _ in result.sensor10["T1"].prominent)
+    assert t1_freqs[0] == pytest.approx(48e6, abs=1e6)
+    assert t1_freqs[1] == pytest.approx(84e6, abs=1e6)
+    # Every Trojan's components belong to the clock-harmonic sideband
+    # family: offset from a harmonic by a multiple of half the block
+    # rate (T2's plaintext gating at 1.5 MHz adds half-multiples).
+    for trojan, panel in result.sensor10.items():
+        for freq, _delta in panel.prominent:
+            offsets = [abs(freq - h) for h in (33e6, 66e6, 99e6)]
+            nearest = min(offsets)
+            assert nearest / 1.5e6 == pytest.approx(
+                round(nearest / 1.5e6), abs=0.2
+            ), (trojan, freq)
+    # Sensor 0 stays quiet (the null panel).
+    assert abs(result.sensor0.sideband_delta_db) < 0.3 * min(
+        panel.sideband_delta_db for panel in result.sensor10.values()
+    )
+    print()
+    print(format_fig4(result))

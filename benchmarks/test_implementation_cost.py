@@ -1,0 +1,21 @@
+"""Section V-B — implementation cost.
+
+Paper: single T-gate ~34 ohm; T-gates add ~5 % chip area; the PSA uses
+6.25 % of a top layer's routing capacity vs 100 % for the single coil;
+power overhead dominated by (negligible) leakage.
+"""
+
+import pytest
+
+from repro.experiments.cost import format_cost, run_cost
+
+
+def test_implementation_cost(benchmark):
+    cost = benchmark(run_cost)
+    assert cost.tgate_resistance_ohm == pytest.approx(34.0, rel=0.05)
+    assert cost.area_overhead_fraction == pytest.approx(0.05, abs=0.01)
+    assert cost.routing_capacity_fraction == pytest.approx(0.0625, abs=0.005)
+    assert cost.single_coil_routing_fraction == 1.0
+    assert cost.power_overhead_fraction < 0.01
+    print()
+    print(format_cost(cost))

@@ -1,0 +1,33 @@
+"""Section VI-D — localization to sensor 10 with quadrant refinement.
+
+Paper: the PSA "not only ensures a 100 % detection rate but also ...
+precisely identifying the HTs' physical location"; all four Trojans
+live under sensor 10, one per quadrant in our floorplan.
+"""
+
+import numpy as np
+
+from repro.experiments.localization import (
+    EXPECTED_QUADRANTS,
+    EXPECTED_SENSOR,
+    format_localization,
+    run_localization,
+)
+
+
+def test_localization(benchmark, ctx):
+    result = benchmark.pedantic(
+        lambda: run_localization(ctx, n_records=3), rounds=1, iterations=1
+    )
+    assert result.sensors_correct
+    assert result.quadrants_correct
+    for trojan, loc in result.results.items():
+        assert loc.sensor_index == EXPECTED_SENSOR, trojan
+        assert loc.quadrant == EXPECTED_QUADRANTS[trojan], trojan
+        assert loc.margin_db > 0.0, trojan
+        # The position estimate stays within ~150 um of ground truth.
+        true = ctx.chip.floorplan.placements[trojan][0].center
+        error = np.hypot(loc.position[0] - true[0], loc.position[1] - true[1])
+        assert error < 150e-6, trojan
+    print()
+    print(format_localization(result))

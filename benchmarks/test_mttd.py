@@ -1,0 +1,24 @@
+"""Section VI-D — run-time detection latency.
+
+Paper: "fewer than ten traces collected to detect a HT, resulting in
+less than 10 ms MTTD".
+"""
+
+from repro.experiments.mttd import BUDGET_SECONDS, BUDGET_TRACES, format_mttd, run_mttd
+
+
+def test_mttd(benchmark, ctx):
+    result = benchmark.pedantic(
+        lambda: run_mttd(ctx, n_baseline=7, n_active=4),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.all_within_budget
+    for trojan, scenario in result.scenarios.items():
+        assert scenario.result.detected, trojan
+        assert scenario.result.traces_to_detect < BUDGET_TRACES, trojan
+        assert scenario.result.mttd_s < BUDGET_SECONDS, trojan
+    # The per-trace cadence itself leaves ample headroom.
+    assert result.trace_period_s < 2e-3
+    print()
+    print(format_mttd(result))

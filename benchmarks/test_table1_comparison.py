@@ -1,0 +1,43 @@
+"""Table I — comparison of EM side-channel methods.
+
+Paper rows: detection rate (Low/High/Low/High), localization
+(No/No/No/Yes), measurements (>10,000 / 100 / >10,000 / <10), SNR
+(14.3 / N/A / 30.5 / 41.0 dB), run-time (No/No/Yes/Yes).
+"""
+
+from repro.experiments.table1 import format_table1, run_table1
+
+
+def test_table1_comparison(benchmark, ctx):
+    result = benchmark.pedantic(
+        lambda: run_table1(ctx, n_traces=8), rounds=1, iterations=1
+    )
+    reports = result.reports
+
+    # Localization / run-time columns are structural.
+    assert reports["psa"].localization
+    assert not reports["external_probe"].localization
+    assert not reports["backscatter"].localization
+    assert not reports["single_coil"].localization
+    assert reports["psa"].runtime and reports["single_coil"].runtime
+    assert not reports["external_probe"].runtime
+
+    # Measurement counts: PSA <10; probe and coil orders of magnitude
+    # above; backscattering in between.
+    assert reports["psa"].worst_n_required < 10
+    assert reports["external_probe"].worst_n_required > 1000
+    assert reports["single_coil"].worst_n_required > 100
+    assert result.measurement_ordering_holds()
+
+    # Detection-rate labels: the PSA catches everything including the
+    # 329-cell T3; the low-SNR methods do not.
+    assert reports["psa"].rate_label() == "High"
+    assert reports["psa"].mean_detection_rate == 1.0
+    assert reports["external_probe"].outcomes["T3"].detection_rate < 0.5
+    assert reports["single_coil"].outcomes["T3"].detection_rate < 0.5
+
+    # SNR column ordering.
+    assert reports["psa"].snr_db > reports["single_coil"].snr_db
+    assert reports["single_coil"].snr_db > reports["external_probe"].snr_db
+    print()
+    print(format_table1(result))

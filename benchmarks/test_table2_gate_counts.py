@@ -1,0 +1,23 @@
+"""Table II — Trojan gate counts and percentages.
+
+Paper values: 28,806 cells overall; T1 1881 (6.52 %), T2 2132 (7.40 %),
+T3 329 (1.14 %), T4 2181 (7.57 %).
+"""
+
+import pytest
+
+from repro.experiments.table2 import format_table2, run_table2
+
+
+def test_table2_gate_counts(benchmark):
+    rows = benchmark(run_table2)
+    by_name = {row.circuit: row for row in rows}
+    assert by_name["Overall"].n_cells == 28806
+    assert by_name["T1"].n_cells == 1881
+    assert by_name["T2"].n_cells == 2132
+    assert by_name["T3"].n_cells == 329
+    assert by_name["T4"].n_cells == 2181
+    assert by_name["T1"].percentage == pytest.approx(6.52, abs=0.01)
+    assert by_name["T4"].percentage == pytest.approx(7.57, abs=0.01)
+    print()
+    print(format_table2(rows))

@@ -1,0 +1,28 @@
+"""Section VI-C — supply-voltage / temperature robustness.
+
+Paper: ~4 dB impedance drop from 0.8 V to 1.2 V; impedance within a
+~4 dB band from -40 C to 125 C; chirp current response "does not
+change significantly" across supply voltages.
+"""
+
+import pytest
+
+from repro.experiments.robustness import format_robustness, run_robustness
+
+
+def test_vt_robustness(benchmark, ctx):
+    result = benchmark.pedantic(
+        lambda: run_robustness(ctx), rounds=1, iterations=1
+    )
+    # T-gate nominal on-resistance (Section V-B).
+    assert result.tgate_nominal_ohm == pytest.approx(34.0, rel=0.05)
+    # Voltage sweep: a few dB, monotonically falling with VDD.
+    assert 2.0 < result.voltage.span_db < 6.0
+    imp = result.voltage.impedance_db_ohm
+    assert all(imp[i] >= imp[i + 1] for i in range(len(imp) - 1))
+    # Temperature sweep: bounded span.
+    assert result.temperature.span_db < 6.0
+    # Chirp current response: flat within tens of percent.
+    assert result.chirp.relative_span < 0.6
+    print()
+    print(format_robustness(result))

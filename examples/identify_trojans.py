@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Identification via zero-span envelopes (the paper's Figure 5).
+
+Captures sensor-10 traces with each Trojan active, switches to the time
+domain at the 48 MHz sideband, and classifies the envelopes — first
+with the rule template, then fully unsupervised with K-means.
+
+Run:
+    python examples/identify_trojans.py
+"""
+
+from repro import ProgrammableSensorArray, SimConfig, TestChip
+from repro.core.analysis.identifier import TrojanIdentifier
+from repro.experiments.reporting import sparkline
+from repro.workloads.campaign import MeasurementCampaign
+from repro.workloads.scenarios import scenario_by_name
+
+
+def main() -> None:
+    config = SimConfig()
+    chip = TestChip(key=bytes(range(16)), config=config)
+    psa = ProgrammableSensorArray(chip)
+    campaign = MeasurementCampaign(chip, psa)
+    identifier = TrojanIdentifier()
+
+    traces = []
+    truth = []
+    print(f"zero-span envelopes at {identifier.f_probe / 1e6:.0f} MHz "
+          f"(RBW {identifier.rbw / 1e6:.0f} MHz):")
+    for trojan in ("T1", "T2", "T3", "T4"):
+        for index in range(2):
+            record = campaign.record(
+                scenario_by_name(trojan), 900 + index
+            )
+            traces.append(psa.measure(record, 10, 900 + index))
+            truth.append(trojan)
+        capture = identifier.zero_span(traces[-1])
+        normalized = capture.envelope / capture.envelope.max()
+        feats = identifier.features(traces[-1])
+        print(f"  {trojan}: {sparkline(normalized)}")
+        print(
+            f"      dominant {feats.dominant_freq / 1e6:.2f} MHz, "
+            f"ripple {feats.ripple:.2f}, autocorr {feats.autocorr_peak:.2f}, "
+            f"bimodality {feats.bimodality:.2f}"
+        )
+
+    print()
+    print("rule-template classification:")
+    for trace, expected in zip(traces[::2], truth[::2]):
+        predicted = identifier.classify(trace).label
+        marker = "ok" if predicted == expected else "WRONG"
+        print(f"  truth {expected} -> predicted {predicted}  [{marker}]")
+
+    print()
+    print("unsupervised (K-means over envelope features):")
+    clustering = identifier.cluster(traces, n_clusters=4)
+    labels = identifier.label_clusters(traces, clustering)
+    correct = 0
+    for index, (trace, expected) in enumerate(zip(traces, truth)):
+        predicted = labels[int(clustering.labels[index])]
+        correct += predicted == expected
+    print(f"  cluster-label accuracy: {correct}/{len(traces)} "
+          "(paper: all 4 HTs classified without full supervision)")
+
+
+if __name__ == "__main__":
+    main()

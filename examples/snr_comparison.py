@@ -1,0 +1,27 @@
+#!/usr/bin/env python
+"""SNR comparison: PSA vs single coil vs external probes (Section VI-B).
+
+Measures He's RMS-ratio SNR (paper Equation (1)) for all four receivers
+under identical workloads and prints the comparison against the paper's
+numbers, plus the Figure 3 spectrum difference.
+
+Run:
+    python examples/snr_comparison.py
+"""
+
+from repro.experiments.context import ExperimentContext
+from repro.experiments.fig3 import format_fig3, run_fig3
+from repro.experiments.snr import format_snr, run_snr
+
+
+def main() -> None:
+    ctx = ExperimentContext.build()
+
+    print("Section VI-B — SNR per receiver (Equation (1))")
+    print(format_snr(run_snr(ctx, n_traces=2)))
+    print()
+    print(format_fig3(run_fig3(ctx, n_traces=2)))
+
+
+if __name__ == "__main__":
+    main()

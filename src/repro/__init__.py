@@ -1,0 +1,58 @@
+"""PSA-EM: programmable on-chip EM sensor array simulation.
+
+A full-stack reproduction of *"Programmable EM Sensor Array for
+Golden-Model Free Run-time Trojan Detection and Localization"*
+(Wang et al., DATE 2024): the AES-128 test chip with its four hardware
+Trojans, the physical EM substrate, the programmable sensor array, the
+comparison baselines, and the cross-domain detection / localization /
+identification pipeline.
+
+Quickstart::
+
+    from repro import (
+        SimConfig, TestChip, ProgrammableSensorArray, CrossDomainAnalyzer,
+    )
+
+    config = SimConfig()
+    chip = TestChip(key=bytes(range(16)), config=config)
+    psa = ProgrammableSensorArray(chip)
+    report = CrossDomainAnalyzer(chip, psa).run("T1")
+    print(report.mttd, report.localization.sensor_index,
+          report.identification.label)
+"""
+
+from ._version import __version__
+from .config import DEFAULT_CONFIG, SimConfig
+from .errors import ReproError
+from .traces import Trace
+from .chip.testchip import TestChip
+from .chip.floorplan import Floorplan, Rect, default_floorplan
+from .core.array import ProgrammableSensorArray
+from .core.grid import PsaGrid
+from .core.coil import Coil, synthesize_rect_coil
+from .core.analysis.pipeline import CrossDomainAnalyzer, CrossDomainReport
+from .instruments.spectrum_analyzer import SpectrumAnalyzer
+from .workloads.campaign import MeasurementCampaign
+from .traceio import load_traces, save_traces
+
+__all__ = [
+    "__version__",
+    "DEFAULT_CONFIG",
+    "SimConfig",
+    "ReproError",
+    "Trace",
+    "TestChip",
+    "Floorplan",
+    "Rect",
+    "default_floorplan",
+    "ProgrammableSensorArray",
+    "PsaGrid",
+    "Coil",
+    "synthesize_rect_coil",
+    "CrossDomainAnalyzer",
+    "CrossDomainReport",
+    "SpectrumAnalyzer",
+    "MeasurementCampaign",
+    "load_traces",
+    "save_traces",
+]

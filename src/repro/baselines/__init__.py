@@ -1,0 +1,29 @@
+"""The comparison methods of Table I, implemented end to end.
+
+* :class:`ExternalProbeMethod` — external-probe statistical analysis
+  (He et al., TVLSI'17 [7] / Faezi et al. [8]): Langer LF1 traces,
+  Euclidean-distance statistics, no localization, not run-time.
+* :class:`SingleCoilMethod` — the on-chip single winding of He et al.
+  (DAC'20 [1]): run-time capable but self-cancellation-limited.
+* :class:`BackscatterMethod` — Nguyen et al. (HOST'20 [9]): injected
+  carrier, reflection spectra, PCA + K-means clustering; high detection
+  rate, ~100 measurements, no localization.
+* :class:`PsaMethod` — the proposed PSA with the sideband feature.
+"""
+
+from .protocol import MethodReport, TrojanOutcome
+from .common import ReceiverBench
+from .external_probe import ExternalProbeMethod
+from .single_coil import SingleCoilMethod
+from .backscatter import BackscatterMethod
+from .psa_method import PsaMethod
+
+__all__ = [
+    "MethodReport",
+    "TrojanOutcome",
+    "ReceiverBench",
+    "ExternalProbeMethod",
+    "SingleCoilMethod",
+    "BackscatterMethod",
+    "PsaMethod",
+]

@@ -1,0 +1,142 @@
+"""Shared measurement bench for receiver-based methods.
+
+The external-probe and single-coil baselines differ from the PSA only
+in their receiver geometry and noise environment; this bench renders an
+:class:`~repro.chip.power.ActivityRecord` into an amplified trace for
+any single receiver, reusing the same EM substrate so the comparison is
+apples to apples.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from ..calibration import COUPLING_SCALE
+from ..chip.power import ActivityRecord
+from ..chip.testchip import TestChip
+from ..dsp.transforms import Spectrum
+from ..em.amplifier import MeasurementAmplifier
+from ..em.coupling import CouplingMatrix, Receiver, emf_waveforms
+from ..em.noise import NoiseModel
+from ..instruments.spectrum_analyzer import SpectrumAnalyzer
+from ..rng import stream
+from ..traces import Trace
+from ..workloads.campaign import MeasurementCampaign
+from ..workloads.scenarios import reference_for, scenario_by_name
+
+
+class ReceiverBench:
+    """Measurement bench around one receiver.
+
+    Parameters
+    ----------
+    chip:
+        Device under test.
+    receiver:
+        The sensing structure.
+    amplifier:
+        Front-end (the external probes use the same bench amplifier as
+        the PSA's channels, per the shared PCB of Section VI-A).
+    """
+
+    def __init__(
+        self,
+        chip: TestChip,
+        receiver: Receiver,
+        amplifier: MeasurementAmplifier | None = None,
+    ):
+        self.chip = chip
+        self.receiver = receiver
+        self.amplifier = amplifier or MeasurementAmplifier()
+        self.analyzer = SpectrumAnalyzer()
+        self.coupling = CouplingMatrix(
+            chip.floorplan,
+            [receiver],
+            points_per_side=48,
+            scale=COUPLING_SCALE,
+        )
+        self._noise = NoiseModel(
+            resistance=receiver.r_series,
+            temperature_c=chip.config.temperature_c,
+            ambient_area=receiver.ambient_gain,
+        )
+
+    def measure(self, record: ActivityRecord, trace_index: int = 0) -> Trace:
+        """Capture one amplified trace from the receiver."""
+        config = self.chip.config
+        emf = emf_waveforms(self.coupling, record)[0]
+        tag = f"{record.scenario}/{self.receiver.name}/{trace_index}"
+        if self.receiver.gain_jitter > 0.0:
+            # Probe repositioning drift between captures.
+            drift_rng = stream(config.seed, f"gain/{tag}")
+            emf = emf * (
+                1.0
+                + self.receiver.gain_jitter * drift_rng.standard_normal()
+            )
+        noise = self._noise.sample(
+            config.n_samples, config.fs, stream(config.seed, f"noise/{tag}")
+        )
+        amplified = self.amplifier.amplify(
+            emf + noise,
+            config.fs,
+            rng=stream(config.seed, f"amp/{tag}"),
+            source_impedance=self.receiver.r_series,
+        )
+        return Trace(
+            samples=amplified,
+            fs=config.fs,
+            label=self.receiver.name,
+            scenario=record.scenario,
+            meta={"trace_index": trace_index},
+        )
+
+    # -- scenario-level collection ------------------------------------------------
+
+    def collect(
+        self, campaign: MeasurementCampaign, scenario_name: str, n_traces: int,
+        index_offset: int = 0,
+    ) -> List[Trace]:
+        """Capture ``n_traces`` of one scenario with fresh workloads."""
+        scenario = scenario_by_name(scenario_name)
+        traces = []
+        for index in range(n_traces):
+            record = campaign.record(scenario, index_offset + index)
+            traces.append(self.measure(record, trace_index=index_offset + index))
+        return traces
+
+    def spectra(self, traces: Sequence[Trace]) -> List[Spectrum]:
+        """Display spectra of a trace collection."""
+        return [self.analyzer.spectrum(trace) for trace in traces]
+
+    def snr_db(self, campaign: MeasurementCampaign, n_traces: int = 3) -> float:
+        """He-style SNR (Equation (1)) of this receiver."""
+        from ..dsp.metrics import snr_rms_db
+
+        signal = self.collect(campaign, "baseline", n_traces)
+        noise = self.collect(campaign, "idle", n_traces)
+        signal_rms = np.concatenate([t.samples for t in signal])
+        noise_rms = np.concatenate([t.samples for t in noise])
+        return snr_rms_db(signal_rms, noise_rms)
+
+
+def euclidean_statistics(
+    spectra: Sequence[Spectrum], reference: Spectrum
+) -> np.ndarray:
+    """Per-trace Euclidean distance to a reference spectrum.
+
+    The statistic of He et al. (TVLSI'17): compare each captured
+    spectrum against the reference by L2 distance.
+    """
+    ref = reference.amps
+    return np.array(
+        [float(np.linalg.norm(spec.amps - ref)) for spec in spectra]
+    )
+
+
+def reference_spectrum(spectra: Sequence[Spectrum]) -> Spectrum:
+    """Mean (power-domain) spectrum of a reference collection."""
+    from ..dsp.transforms import average_spectra
+
+    return average_spectra(list(spectra))

@@ -1,0 +1,94 @@
+"""The proposed PSA, evaluated under the same Table I protocol."""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..chip.testchip import TestChip
+from ..core.analysis.spectral import sideband_feature_db
+from ..core.array import ProgrammableSensorArray
+from ..dsp.metrics import snr_rms_db
+from ..errors import AnalysisError
+from ..instruments.spectrum_analyzer import SpectrumAnalyzer
+from ..workloads.campaign import MeasurementCampaign
+from ..workloads.scenarios import reference_for, scenario_by_name
+from .protocol import (
+    EVALUATED_TROJANS,
+    MethodReport,
+    outcome_from_populations,
+)
+
+#: Sensor used for the comparison (covers the Trojan cluster).
+MONITOR_SENSOR = 10
+
+
+class PsaMethod:
+    """Table I column "PSA (proposed)"."""
+
+    name = "psa"
+    localization = True
+    runtime = True
+
+    def __init__(
+        self,
+        chip: TestChip,
+        campaign: MeasurementCampaign,
+        psa: ProgrammableSensorArray | None = None,
+    ):
+        self.chip = chip
+        self.campaign = campaign
+        self.psa = psa or campaign.psa
+        self.analyzer = SpectrumAnalyzer()
+
+    def _features(
+        self, scenario_name: str, n_traces: int, index_offset: int
+    ) -> np.ndarray:
+        scenario = scenario_by_name(scenario_name)
+        features: List[float] = []
+        for index in range(n_traces):
+            record = self.campaign.record(scenario, index_offset + index)
+            trace = self.psa.measure(
+                record, MONITOR_SENSOR, trace_index=index_offset + index
+            )
+            features.append(
+                sideband_feature_db(
+                    self.analyzer.spectrum(trace), self.chip.config
+                )
+            )
+        return np.asarray(features)
+
+    def snr_db(self, n_traces: int = 3) -> float:
+        """He-style SNR of the monitored PSA sensor."""
+        scenario_signal = scenario_by_name("baseline")
+        scenario_idle = scenario_by_name("idle")
+        signal = []
+        noise = []
+        for index in range(n_traces):
+            rec_s = self.campaign.record(scenario_signal, index)
+            rec_n = self.campaign.record(scenario_idle, index)
+            signal.append(
+                self.psa.measure(rec_s, MONITOR_SENSOR, index).samples
+            )
+            noise.append(self.psa.measure(rec_n, MONITOR_SENSOR, index).samples)
+        return snr_rms_db(np.concatenate(signal), np.concatenate(noise))
+
+    def evaluate(self, n_traces: int = 10) -> MethodReport:
+        """Run the full per-Trojan evaluation."""
+        if n_traces < 4:
+            raise AnalysisError("need at least 4 traces per population")
+        report = MethodReport(
+            name=self.name,
+            localization=self.localization,
+            runtime=self.runtime,
+        )
+        report.snr_db = self.snr_db()
+        for trojan in EVALUATED_TROJANS:
+            reference = reference_for(trojan).name
+            inactive = self._features(reference, n_traces, 0)
+            active = self._features(trojan, n_traces, 700)
+            report.outcomes[trojan] = outcome_from_populations(
+                trojan, inactive, active
+            )
+        return report

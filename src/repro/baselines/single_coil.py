@@ -1,0 +1,62 @@
+"""On-chip single-coil detection (He et al., DAC'20).
+
+The closest prior art: one winding over the whole die, run-time capable
+(no bench probe), but the coil encloses every supply loop's dipole pair
+— the linked fluxes self-cancel, so the Trojan's differential
+signature drowns in workload variation and >10,000 measurements are
+needed (and the 329-cell T3 stays undetectable), matching Table I.
+"""
+
+from __future__ import annotations
+
+from ..chip.testchip import TestChip
+from ..em.probes import single_coil_receiver
+from ..errors import AnalysisError
+from ..workloads.campaign import MeasurementCampaign
+from ..workloads.scenarios import reference_for
+from .common import ReceiverBench, euclidean_statistics, reference_spectrum
+from .protocol import (
+    EVALUATED_TROJANS,
+    MethodReport,
+    outcome_from_populations,
+)
+
+
+class SingleCoilMethod:
+    """Table I column "On-chip Single Coil [1]"."""
+
+    name = "single_coil"
+    localization = False
+    runtime = True
+
+    def __init__(self, chip: TestChip, campaign: MeasurementCampaign):
+        self.chip = chip
+        self.campaign = campaign
+        self.bench = ReceiverBench(chip, single_coil_receiver())
+
+    def evaluate(self, n_traces: int = 12) -> MethodReport:
+        """Run the full per-Trojan evaluation."""
+        if n_traces < 4:
+            raise AnalysisError("need at least 4 traces per population")
+        report = MethodReport(
+            name=self.name,
+            localization=self.localization,
+            runtime=self.runtime,
+        )
+        report.snr_db = self.bench.snr_db(self.campaign)
+        for trojan in EVALUATED_TROJANS:
+            reference = reference_for(trojan).name
+            base_traces = self.bench.collect(self.campaign, reference, n_traces)
+            active_traces = self.bench.collect(
+                self.campaign, trojan, n_traces, index_offset=300
+            )
+            base_spectra = self.bench.spectra(base_traces)
+            active_spectra = self.bench.spectra(active_traces)
+            half = n_traces // 2
+            ref = reference_spectrum(base_spectra[:half])
+            inactive_stats = euclidean_statistics(base_spectra[half:], ref)
+            active_stats = euclidean_statistics(active_spectra, ref)
+            report.outcomes[trojan] = outcome_from_populations(
+                trojan, inactive_stats, active_stats
+            )
+        return report

@@ -1,0 +1,57 @@
+"""Calibration constants tying the simulation to the paper's absolute levels.
+
+The *relative* behaviour of the reproduction — which receiver couples
+more strongly, where the sidebands sit, who localizes, how many traces
+each method needs — emerges from the physics model (geometry, dipole
+pairs, noise mechanisms).  Two absolute scales cannot be derived from
+the paper and are calibrated instead:
+
+``COUPLING_SCALE``
+    The point-dipole far-field model underestimates on-chip coupling:
+    the sensing metals sit 1-5 um above the M1-M6 wiring, where
+    near-field wire-to-wire coupling (not captured by ideal dipoles)
+    dominates.  A single dimensionless factor applied to *every*
+    coupling matrix restores the paper's absolute signal levels
+    (PSA ~41 dB SNR per Equation (1)) without touching any relative
+    comparison — all receivers are scaled alike.
+
+``AMBIENT_VRMS_PER_M2`` (in :mod:`repro.em.noise`)
+    Lab ambient pickup per unit loop area, calibrated so the external
+    Langer LF1 probe lands near its measured 14.3 dB SNR.
+
+Everything else (cell capacitances, T-gate resistance, amplifier noise,
+probe geometry) uses datasheet/technology-plausible values directly.
+"""
+
+from __future__ import annotations
+
+#: Dimensionless near-field coupling correction (see module docstring).
+COUPLING_SCALE = 3.0e6
+
+#: Dimensionless correction on the package/bond-wire loop coupling.
+#: The global supply loop (die -> bondwires -> package plane) carries
+#: the total chip current; its coupling to *external* probes is what
+#: conventional EM side-channel setups measure.  The factor absorbs the
+#: kernel's underestimated edge sharpness (~100 ps in silicon vs ~1 ns
+#: modeled) and the multi-loop package geometry.
+BOND_COUPLING_SCALE = 0.35
+
+#: Fraction of a region's supply current that returns through the
+#: *local* power stripe (the compensating dipole pole).  1.0 = fully
+#: compensated pairs: on-die sources are quadrupole-like at distance,
+#: and the diffuse package-level return is carried entirely by the
+#: bond-loop term.  (Values < 1 would leave unbalanced far-field
+#: moments that double-count the package return and swamp the external
+#: probes.)
+RETURN_FRACTION = 1.0
+
+#: Target SNR values from the paper [dB], for calibration checks.
+PAPER_SNR_DB = {
+    "psa": 41.0,
+    "single_coil": 30.5,
+    "langer_lf1": 14.3,
+    "icr_hh100": 34.0,
+}
+
+#: Acceptable calibration tolerance on absolute SNR values [dB].
+SNR_TOLERANCE_DB = 6.0

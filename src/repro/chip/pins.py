@@ -1,0 +1,129 @@
+"""IO pin assignment of the QFN-packaged test chip (Figure 2).
+
+The chip uses a QFN 6 mm x 6 mm package with 8 IO pins per side.  The
+PSA occupies the right-side pins (four differential output channels,
+sensor1+/- .. sensor4+/-); four bottom-side pins carry ``PSA_sel[3:0]``,
+decoded on-chip into T-gate controls.  Sensors within one row of the
+4x4 arrangement share the row's output channel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..errors import FloorplanError
+from .floorplan import SENSOR_GRID
+
+
+@dataclass(frozen=True)
+class PinAssignment:
+    """One package pin.
+
+    Attributes
+    ----------
+    name:
+        Pin name as printed in Figure 2.
+    side:
+        'left', 'right', 'top' or 'bottom'.
+    position:
+        Index along the side (0..7).
+    role:
+        Functional group: 'power', 'psa_out', 'psa_ctrl', 'uart',
+        'clock', 'trojan_en', 'misc'.
+    """
+
+    name: str
+    side: str
+    position: int
+    role: str
+
+
+def _side(side: str, names_roles: List[tuple]) -> List[PinAssignment]:
+    return [
+        PinAssignment(name=name, side=side, position=index, role=role)
+        for index, (name, role) in enumerate(names_roles)
+    ]
+
+
+#: The full pin list (32 pins, 8 per side).
+IO_PINS: List[PinAssignment] = (
+    _side(
+        "right",
+        [
+            ("Sensor1+", "psa_out"),
+            ("Sensor1-", "psa_out"),
+            ("Sensor2+", "psa_out"),
+            ("Sensor2-", "psa_out"),
+            ("Sensor3+", "psa_out"),
+            ("Sensor3-", "psa_out"),
+            ("Sensor4+", "psa_out"),
+            ("Sensor4-", "psa_out"),
+        ],
+    )
+    + _side(
+        "bottom",
+        [
+            ("PSA_sel[0]", "psa_ctrl"),
+            ("PSA_sel[1]", "psa_ctrl"),
+            ("PSA_sel[2]", "psa_ctrl"),
+            ("PSA_sel[3]", "psa_ctrl"),
+            ("VDD", "power"),
+            ("VSS", "power"),
+            ("CLK", "clock"),
+            ("rst_n", "misc"),
+        ],
+    )
+    + _side(
+        "left",
+        [
+            ("UART_in", "uart"),
+            ("UART_out", "uart"),
+            ("en_UART", "uart"),
+            ("en_LFSR", "misc"),
+            ("VDD", "power"),
+            ("VSS", "power"),
+            ("Drdy1", "misc"),
+            ("am_out", "misc"),
+        ],
+    )
+    + _side(
+        "top",
+        [
+            ("en_T1", "trojan_en"),
+            ("en_T2", "trojan_en"),
+            ("en_T3", "trojan_en"),
+            ("en_T4", "trojan_en"),
+            ("inv_out", "misc"),
+            ("load_out", "misc"),
+            ("dy_out", "misc"),
+            ("VDD", "power"),
+        ],
+    )
+)
+
+
+def channel_for_sensor(sensor_index: int) -> int:
+    """Differential output channel (1..4) used by a sensor.
+
+    "The 4 sensors on each row use the channel on the same row."
+    """
+    if not 0 <= sensor_index < SENSOR_GRID * SENSOR_GRID:
+        raise FloorplanError(f"sensor index {sensor_index} outside 0..15")
+    return sensor_index // SENSOR_GRID + 1
+
+
+def pins_by_role(role: str) -> List[PinAssignment]:
+    """All pins with a given role."""
+    pins = [pin for pin in IO_PINS if pin.role == role]
+    if not pins:
+        raise FloorplanError(f"no pins with role {role!r}")
+    return pins
+
+
+def pin_map() -> Dict[str, List[PinAssignment]]:
+    """Pins grouped by side."""
+    grouped: Dict[str, List[PinAssignment]] = {}
+    for pin in IO_PINS:
+        grouped.setdefault(pin.side, []).append(pin)
+    return grouped

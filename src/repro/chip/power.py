@@ -1,0 +1,176 @@
+"""Supply-current model: from toggle counts to current waveforms.
+
+Every cell toggle moves a charge ``Q = C_switch * VDD`` through the
+local supply loop.  The per-cycle supply current is modeled as a
+pulse-kernel train: a ~50 %-duty rectangular kernel with smoothed edges,
+repeated at every clock rising edge and scaled by that cycle's toggle
+count.  The 50 % duty is the physically-typical "logic evaluates during
+the high phase" shape, and it is what suppresses the *even* clock
+harmonics — the reason the paper sees Trojan sidebands around the 1st
+and 3rd harmonics only.
+
+The EM step needs ``dI/dt`` rather than ``I``; :func:`emf_kernel`
+provides the differentiated kernel directly so the per-sensor EMF is a
+single convolution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..config import SimConfig
+from ..errors import ConfigError
+from ..units import FF
+
+#: Mean switched capacitance per toggle [F] (library-wide average).
+MEAN_SWITCH_CAP = 3.0 * FF
+
+#: Kernel duty cycle (fraction of the clock period the current flows).
+KERNEL_DUTY = 0.5
+
+#: Edge smoothing sigma as a fraction of the clock period.
+KERNEL_EDGE_SIGMA = 0.02
+
+
+def charge_per_toggle(vdd: float, switch_cap: float = MEAN_SWITCH_CAP) -> float:
+    """Charge drawn from the supply per cell toggle [C]."""
+    if vdd <= 0:
+        raise ConfigError(f"vdd must be positive, got {vdd}")
+    return switch_cap * vdd
+
+
+def current_kernel(config: SimConfig) -> np.ndarray:
+    """Unit-charge supply-current kernel, one clock period long.
+
+    Integrates to 1 (so multiplying by the cycle's charge gives the
+    cycle's current waveform).  Shape ``(oversample,)``.
+    """
+    n = config.oversample
+    duty_samples = max(2, int(round(KERNEL_DUTY * n)))
+    kernel = np.zeros(n)
+    kernel[:duty_samples] = 1.0
+    sigma = max(KERNEL_EDGE_SIGMA * n, 0.5)
+    kernel = _gaussian_smooth(kernel, sigma)
+    kernel /= kernel.sum() * config.dt
+    return kernel
+
+
+def emf_kernel(config: SimConfig) -> np.ndarray:
+    """Time derivative of :func:`current_kernel` (units 1/s^2).
+
+    Convolving the per-cycle charge impulse train with this kernel
+    yields ``dI/dt`` directly.  Length is one cycle plus one sample to
+    capture the trailing edge.
+    """
+    kernel = current_kernel(config)
+    padded = np.concatenate([kernel, [kernel[0]]])
+    return np.diff(padded) / config.dt
+
+
+def _gaussian_smooth(values: np.ndarray, sigma: float) -> np.ndarray:
+    """Circular Gaussian smoothing (keeps kernel periodic per cycle)."""
+    n = values.size
+    freqs = np.fft.rfftfreq(n)
+    spectrum = np.fft.rfft(values)
+    attenuation = np.exp(-2.0 * (np.pi * freqs * sigma) ** 2)
+    return np.fft.irfft(spectrum * attenuation, n=n)
+
+
+@dataclass
+class ActivityRecord:
+    """Per-region switching activity of one simulated trace window.
+
+    Attributes
+    ----------
+    main:
+        Toggle counts of clock-edge-aligned logic (main circuit),
+        shape ``(n_regions, n_cycles)``.
+    trojan:
+        Toggle counts of falling-edge Trojan logic, same shape.  Kept
+        separate because these cells switch on the opposite clock phase
+        (a half-cycle offset), which the EMF synthesis honors.
+    trojan_rising:
+        Toggle counts of rising-edge (main-clock-synchronous) Trojan
+        logic such as the T4 power virus; rendered in phase with the
+        main circuit.
+    config:
+        The simulation configuration used.
+    scenario:
+        Label, e.g. ``"idle"``, ``"baseline"``, ``"T1"``.
+    meta:
+        Free-form extra metadata.
+    """
+
+    main: np.ndarray
+    trojan: np.ndarray
+    config: SimConfig
+    scenario: str = ""
+    meta: Optional[Dict[str, object]] = None
+    trojan_rising: Optional[np.ndarray] = None
+
+    def __post_init__(self) -> None:
+        if self.trojan_rising is None:
+            self.trojan_rising = np.zeros_like(self.main)
+        expected = (self.main.shape[0], self.config.n_cycles)
+        if (
+            self.main.shape != expected
+            or self.trojan.shape != expected
+            or self.trojan_rising.shape != expected
+        ):
+            raise ConfigError(
+                f"activity shapes {self.main.shape}/{self.trojan.shape} do "
+                f"not match (n_regions, n_cycles)={expected}"
+            )
+
+    @property
+    def n_regions(self) -> int:
+        """Number of floorplan regions."""
+        return int(self.main.shape[0])
+
+    def total_toggles(self) -> float:
+        """All toggles in the window (main + Trojan)."""
+        return float(
+            self.main.sum() + self.trojan.sum() + self.trojan_rising.sum()
+        )
+
+    def combined(self) -> np.ndarray:
+        """Main + Trojan activity (ignoring the phase offsets)."""
+        return self.main + self.trojan + self.trojan_rising
+
+    def trojan_total(self) -> np.ndarray:
+        """All Trojan activity, both clock phases."""
+        return self.trojan + self.trojan_rising
+
+
+class PowerModel:
+    """Converts activity into charge-per-cycle matrices.
+
+    Parameters
+    ----------
+    config:
+        Simulation configuration.
+    switch_cap:
+        Mean switched capacitance per toggle [F].
+    """
+
+    def __init__(self, config: SimConfig, switch_cap: float = MEAN_SWITCH_CAP):
+        self.config = config
+        self.switch_cap = switch_cap
+
+    def charge_matrix(self, toggles: np.ndarray) -> np.ndarray:
+        """Charge drawn per region per cycle [C], same shape as input."""
+        return np.asarray(toggles, dtype=float) * charge_per_toggle(
+            self.config.vdd, self.switch_cap
+        )
+
+    def mean_current(self, record: ActivityRecord) -> float:
+        """Window-average supply current [A]."""
+        total_charge = self.charge_matrix(record.combined()).sum()
+        return float(total_charge / record.config.duration)
+
+    def leakage_current(self, total_leakage_na: float) -> float:
+        """Static leakage [A] given a netlist's summed leakage in nA."""
+        return total_leakage_na * 1e-9

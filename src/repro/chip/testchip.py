@@ -1,0 +1,201 @@
+"""The assembled AES-128 test chip.
+
+:class:`TestChip` wires together the netlist inventory, the floorplan,
+the AES-LUT core cycle model, the UART and the four Trojans, and renders
+one measurement window into an :class:`~repro.chip.power.ActivityRecord`
+(per-region toggle matrices) for the EM stage.
+
+All four Trojans are always *present* (their trigger circuits tick every
+cycle); the ``active`` set controls which payloads can fire, mirroring
+the paper's five measurement scenarios (no active HT, T1..T4).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from ..config import SimConfig
+from ..crypto.key_schedule import expand_key
+from ..crypto.lut_core import AesLutCore
+from ..errors import WorkloadError
+from ..trojans.base import CycleContext, Trojan
+from ..trojans.t1_am_carrier import T1AmCarrier, T1_TERMINAL
+from ..trojans.t2_leakage import T2KeyLeakInverters
+from ..trojans.t3_cdma import T3CdmaLeaker
+from ..trojans.t4_dos import T4DosHeater
+from ..uart.uart import Uart
+from .floorplan import Floorplan, default_floorplan
+from .power import ActivityRecord
+
+#: Scenario labels accepted by :meth:`TestChip.run_trace`.
+TROJAN_NAMES = ("T1", "T2", "T3", "T4")
+
+
+def _hamming(a: np.ndarray, b: np.ndarray) -> int:
+    return int(np.unpackbits(np.bitwise_xor(a, b)).sum())
+
+
+class TestChip:
+    """The fabricated test chip, as a simulation object.
+
+    Parameters
+    ----------
+    key:
+        AES-128 key programmed into the core.
+    config:
+        Simulation configuration.
+    floorplan:
+        Module placement (defaults to the paper's Figure 2 layout).
+    """
+
+    def __init__(
+        self,
+        key: bytes,
+        config: SimConfig,
+        floorplan: Optional[Floorplan] = None,
+    ):
+        self.key = bytes(key)
+        self.config = config
+        self.floorplan = floorplan or default_floorplan()
+        self.core = AesLutCore(key, config)
+        self.uart = Uart(config)
+        # Round-key Hamming distances per block phase (fixed key =>
+        # computed once).  Phase 0 is the load cycle: the key-expand
+        # datapath swings from the last round key back to rk0.
+        round_keys = expand_key(self.key)
+        self._key_hd = [_hamming(round_keys[10], round_keys[0])] + [
+            _hamming(round_keys[p - 1], round_keys[p]) for p in range(1, 11)
+        ]
+        self._module_weights = self._build_weight_matrix()
+
+    # -- construction helpers --------------------------------------------------
+
+    def _build_weight_matrix(self) -> Dict[str, np.ndarray]:
+        """Region weights for every placed module."""
+        weights = {}
+        for module in self.floorplan.placements:
+            weights[module] = self.floorplan.module_weights(module)
+        return weights
+
+    def make_trojans(self, active: Iterable[str]) -> List[Trojan]:
+        """Instantiate the four Trojans for a measurement scenario.
+
+        ``active`` lists the Trojans whose payloads should fire in this
+        window: T1 gets its counter parked at the terminal count (the
+        experimentalist waits for an activation; we fast-forward to it),
+        T2 is armed (the workload must supply matching plaintext), and
+        T3/T4 get their external enables asserted.
+        """
+        active_set = frozenset(active)
+        unknown = active_set.difference(TROJAN_NAMES)
+        if unknown:
+            raise WorkloadError(f"unknown Trojans requested: {sorted(unknown)}")
+        return [
+            T1AmCarrier(
+                enabled="T1" in active_set,
+                start_count=T1_TERMINAL if "T1" in active_set else 0,
+            ),
+            T2KeyLeakInverters(enabled="T2" in active_set),
+            T3CdmaLeaker(enabled="T3" in active_set, key=self.key),
+            T4DosHeater(enabled="T4" in active_set),
+        ]
+
+    # -- simulation --------------------------------------------------------------
+
+    def run_trace(
+        self,
+        plaintexts: Sequence[bytes],
+        active: Iterable[str] = (),
+        idle: bool = False,
+        scenario: str | None = None,
+    ) -> ActivityRecord:
+        """Simulate one measurement window.
+
+        Parameters
+        ----------
+        plaintexts:
+            Plaintext blocks fed over UART (recycled as needed).
+        active:
+            Trojan payloads allowed to fire (subset of T1..T4).
+        idle:
+            Powered-but-not-encrypting window (the SNR noise
+            condition).
+        scenario:
+            Label stored on the record (defaults to the active set).
+        """
+        config = self.config
+        core_activity = self.core.run(plaintexts, idle=idle)
+
+        n_regions = self.floorplan.n_regions
+        main = np.zeros((n_regions, config.n_cycles))
+        for module, toggles in core_activity.toggles.items():
+            main += np.outer(self._module_weights[module], toggles)
+        if not idle:
+            uart_toggles = self.uart.activity(transmitting=True)
+            uart_weights = 0.5 * (
+                self._module_weights["uart_core"]
+                + self._module_weights["uart_fifo"]
+            )
+            main += np.outer(uart_weights, uart_toggles)
+
+        trojan = np.zeros_like(main)
+        trojan_rising = np.zeros_like(main)
+        if idle:
+            # Clock-gated idle: the Trojan trigger circuits do not tick
+            # either (the paper's noise condition is a quiet chip).
+            return ActivityRecord(
+                main=main,
+                trojan=trojan,
+                config=config,
+                scenario=scenario if scenario is not None else "idle",
+                meta={"active": (), "idle": True},
+            )
+        trojans = self.make_trojans(active)
+        aes_total = main.sum(axis=0)
+        aes_peak = float(aes_total.max()) or 1.0
+        block_cycles = config.block_cycles
+        for trj in trojans:
+            trj.reset()
+            weights = self._module_weights[trj.name]
+            toggles = np.zeros(config.n_cycles)
+            for cycle in range(config.n_cycles):
+                block = cycle // block_cycles
+                phase = cycle % block_cycles
+                if idle or not core_activity.histories:
+                    plaintext = b"\x00" * 16
+                    key_hd = 0
+                else:
+                    history = core_activity.histories[
+                        block % len(core_activity.histories)
+                    ]
+                    plaintext = bytes(history.plaintext)
+                    key_hd = self._key_hd[phase]
+                ctx = CycleContext(
+                    cycle=cycle,
+                    block=block,
+                    phase=phase,
+                    block_cycles=block_cycles,
+                    time_s=cycle * config.t_clock,
+                    plaintext=plaintext,
+                    key_hd=key_hd,
+                    aes_norm=float(aes_total[cycle]) / aes_peak,
+                )
+                toggles[cycle] = trj.toggles(ctx)
+            if trj.clock_phase == "rising":
+                trojan_rising += np.outer(weights, toggles)
+            else:
+                trojan += np.outer(weights, toggles)
+
+        label = scenario
+        if label is None:
+            label = "idle" if idle else ("+".join(sorted(active)) or "baseline")
+        return ActivityRecord(
+            main=main,
+            trojan=trojan,
+            trojan_rising=trojan_rising,
+            config=config,
+            scenario=label,
+            meta={"active": tuple(sorted(active)), "idle": idle},
+        )

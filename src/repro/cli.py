@@ -1,0 +1,146 @@
+"""Command-line front-end: regenerate any paper table or figure.
+
+Usage::
+
+    psa-em table1            # or: python -m repro.cli table1
+    psa-em fig4 --traces 5
+    psa-em all
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional
+
+from .experiments.context import ExperimentContext
+
+
+def _cmd_table1(ctx: ExperimentContext, args: argparse.Namespace) -> str:
+    from .experiments.table1 import format_table1, run_table1
+
+    return format_table1(run_table1(ctx, n_traces=args.traces))
+
+
+def _cmd_table2(ctx: ExperimentContext, args: argparse.Namespace) -> str:
+    from .experiments.table2 import format_table2, run_table2
+
+    return format_table2(run_table2())
+
+
+def _cmd_fig3(ctx: ExperimentContext, args: argparse.Namespace) -> str:
+    from .experiments.fig3 import format_fig3, run_fig3
+
+    return format_fig3(run_fig3(ctx, n_traces=args.traces))
+
+
+def _cmd_fig4(ctx: ExperimentContext, args: argparse.Namespace) -> str:
+    from .experiments.fig4 import format_fig4, run_fig4
+
+    return format_fig4(run_fig4(ctx, n_traces=args.traces))
+
+
+def _cmd_fig5(ctx: ExperimentContext, args: argparse.Namespace) -> str:
+    from .experiments.fig5 import format_fig5, run_fig5
+
+    return format_fig5(run_fig5(ctx))
+
+
+def _cmd_snr(ctx: ExperimentContext, args: argparse.Namespace) -> str:
+    from .experiments.snr import format_snr, run_snr
+
+    return format_snr(run_snr(ctx))
+
+
+def _cmd_mttd(ctx: ExperimentContext, args: argparse.Namespace) -> str:
+    from .experiments.mttd import format_mttd, run_mttd
+
+    return format_mttd(run_mttd(ctx))
+
+
+def _cmd_localize(ctx: ExperimentContext, args: argparse.Namespace) -> str:
+    from .experiments.localization import (
+        format_localization,
+        run_localization,
+    )
+
+    return format_localization(run_localization(ctx))
+
+
+def _cmd_robustness(ctx: ExperimentContext, args: argparse.Namespace) -> str:
+    from .experiments.robustness import format_robustness, run_robustness
+
+    return format_robustness(run_robustness(ctx))
+
+
+def _cmd_cost(ctx: ExperimentContext, args: argparse.Namespace) -> str:
+    from .experiments.cost import format_cost, run_cost
+
+    return format_cost(run_cost())
+
+
+def _cmd_ablations(ctx: ExperimentContext, args: argparse.Namespace) -> str:
+    from .experiments.ablations import (
+        format_ablations,
+        run_duty_sweep,
+        run_size_sweep,
+        run_turns_sweep,
+    )
+
+    return format_ablations(
+        run_size_sweep(ctx), run_turns_sweep(ctx), run_duty_sweep()
+    )
+
+
+_COMMANDS: Dict[str, Callable[[ExperimentContext, argparse.Namespace], str]] = {
+    "table1": _cmd_table1,
+    "table2": _cmd_table2,
+    "fig3": _cmd_fig3,
+    "fig4": _cmd_fig4,
+    "fig5": _cmd_fig5,
+    "snr": _cmd_snr,
+    "mttd": _cmd_mttd,
+    "localize": _cmd_localize,
+    "robustness": _cmd_robustness,
+    "cost": _cmd_cost,
+    "ablations": _cmd_ablations,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="psa-em",
+        description=(
+            "Regenerate the tables and figures of the PSA EM-sensor "
+            "Trojan-detection paper from simulation."
+        ),
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(_COMMANDS) + ["all"],
+        help="which artifact to regenerate",
+    )
+    parser.add_argument(
+        "--traces",
+        type=int,
+        default=3,
+        help="traces per population where applicable (default 3)",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point."""
+    args = build_parser().parse_args(argv)
+    ctx = ExperimentContext.build()
+    names = sorted(_COMMANDS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        print(f"=== {name} ===")
+        print(_COMMANDS[name](ctx, args))
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,47 @@
+"""The Programmable Sensor Array (PSA) — the paper's core contribution.
+
+* :class:`~repro.core.grid.PsaGrid` — the 36x36 wire lattice with a
+  T-gate switch at each of the 1296 crosspoints (Figure 1a/1b);
+* :mod:`~repro.core.coil` — programming rectangular multi-turn coils
+  onto the lattice, with electrical properties derived from the
+  traversed T-gates and wire;
+* :mod:`~repro.core.sensors` — the standard 16-sensor configuration of
+  Section V-A (4x4, overlapping neighbours);
+* :class:`~repro.core.decoder.PsaDecoder` — the gate-level PSA_sel
+  4-to-16 control decoder;
+* :class:`~repro.core.array.ProgrammableSensorArray` — the measurement
+  facade: program shapes, render activity records into amplified
+  sensor traces;
+* :mod:`~repro.core.cost` — Section V-B implementation-cost model;
+* :mod:`~repro.core.analysis` — the run-time cross-domain analysis
+  (detection, localization, identification, MTTD).
+"""
+
+from .grid import N_WIRES, PsaGrid
+from .coil import Coil, synthesize_rect_coil
+from .sensors import (
+    N_SENSORS,
+    SENSOR_SIZE_PITCHES,
+    quadrant_coil,
+    sensor_grid_origin,
+    standard_sensor_coil,
+)
+from .decoder import PsaDecoder
+from .array import ProgrammableSensorArray
+from .cost import ImplementationCost, implementation_cost
+
+__all__ = [
+    "N_WIRES",
+    "PsaGrid",
+    "Coil",
+    "synthesize_rect_coil",
+    "N_SENSORS",
+    "SENSOR_SIZE_PITCHES",
+    "quadrant_coil",
+    "sensor_grid_origin",
+    "standard_sensor_coil",
+    "PsaDecoder",
+    "ProgrammableSensorArray",
+    "ImplementationCost",
+    "implementation_cost",
+]

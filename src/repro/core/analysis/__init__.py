@@ -1,0 +1,59 @@
+"""Run-time cross-domain analysis (Section VI-D).
+
+The paper's flow, reproduced end to end:
+
+1. **Frequency domain** — per-sensor spectra (5-trace average) are
+   screened for prominent components that appear only when a Trojan is
+   active; with the paper's clocking these are the 48 MHz / 84 MHz
+   sidebands of the 1st/3rd clock harmonics
+   (:mod:`~repro.core.analysis.spectral`).
+2. **Detection** — a golden-model-free change detector z-scores each
+   new trace's sideband feature against a self-learned baseline
+   (:mod:`~repro.core.analysis.detector`), needing fewer than ten
+   traces (:mod:`~repro.core.analysis.mttd` converts that to MTTD).
+3. **Localization** — the per-sensor score map pins the hot sensor;
+   reprogramming the lattice into quadrant coils refines the position
+   (:mod:`~repro.core.analysis.localizer`).
+4. **Identification** — zero-span envelopes at a prominent sideband are
+   classified by modulation signature, without full supervision
+   (:mod:`~repro.core.analysis.identifier`).
+
+:class:`~repro.core.analysis.pipeline.CrossDomainAnalyzer` drives all
+four stages from raw chip activity.
+"""
+
+from .spectral import (
+    IMAGE_OFFSET_HARMONICS,
+    clock_harmonics,
+    find_prominent_components,
+    sideband_feature_db,
+    sideband_frequencies,
+)
+from .detector import DetectionDecision, DetectorConfig, RuntimeDetector
+from .localizer import LocalizationResult, Localizer
+from .identifier import TrojanIdentifier, IdentificationResult
+from .mttd import MttdModel, MttdResult
+from .scanner import AdaptiveScanner, ScanResult, ScanWindow
+from .pipeline import CrossDomainAnalyzer, CrossDomainReport
+
+__all__ = [
+    "IMAGE_OFFSET_HARMONICS",
+    "clock_harmonics",
+    "find_prominent_components",
+    "sideband_feature_db",
+    "sideband_frequencies",
+    "DetectionDecision",
+    "DetectorConfig",
+    "RuntimeDetector",
+    "LocalizationResult",
+    "Localizer",
+    "TrojanIdentifier",
+    "IdentificationResult",
+    "MttdModel",
+    "MttdResult",
+    "AdaptiveScanner",
+    "ScanResult",
+    "ScanWindow",
+    "CrossDomainAnalyzer",
+    "CrossDomainReport",
+]

@@ -1,0 +1,104 @@
+"""Mean-time-to-detect accounting.
+
+MTTD is the wall-clock latency between a Trojan's activation and the
+detector's alarm (Section II-A).  In deployment the RASC-style board
+captures a window, processes it (FFT + feature + z-score) and moves to
+the next window; the per-trace period is therefore the capture duration
+plus the processing budget.
+
+With the paper's settings — fewer than ten traces to an alarm and a
+~1 ms per-trace cadence — the MTTD lands below 10 ms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...config import SimConfig
+from ...errors import AnalysisError
+
+
+@dataclass(frozen=True)
+class MttdModel:
+    """Per-trace timing of the run-time monitor.
+
+    Attributes
+    ----------
+    processing_latency_s:
+        On-board FFT + feature + decision time per trace [s].
+    """
+
+    processing_latency_s: float = 0.9e-3
+
+    def __post_init__(self) -> None:
+        if self.processing_latency_s < 0:
+            raise AnalysisError("processing latency must be >= 0")
+
+    def trace_period(self, config: SimConfig) -> float:
+        """Capture + processing period of one monitoring trace [s]."""
+        return config.duration + self.processing_latency_s
+
+
+@dataclass(frozen=True)
+class MttdResult:
+    """Trigger-to-alarm latency.
+
+    Attributes
+    ----------
+    detected:
+        Whether an alarm fired at all.
+    traces_to_detect:
+        Traces consumed after the activation (inclusive of the
+        alarming trace); None when not detected.
+    mttd_s:
+        Wall-clock latency [s]; None when not detected.
+    """
+
+    detected: bool
+    traces_to_detect: int | None
+    mttd_s: float | None
+
+    def within(self, budget_s: float, budget_traces: int) -> bool:
+        """Whether the paper's budget (<10 ms, <10 traces) is met."""
+        return (
+            self.detected
+            and self.mttd_s is not None
+            and self.traces_to_detect is not None
+            and self.mttd_s < budget_s
+            and self.traces_to_detect < budget_traces
+        )
+
+
+def mttd_from_alarm(
+    alarm_index: int | None,
+    trigger_index: int,
+    config: SimConfig,
+    model: MttdModel | None = None,
+) -> MttdResult:
+    """Convert stream indices into an :class:`MttdResult`.
+
+    Parameters
+    ----------
+    alarm_index:
+        Trace index of the alarm (None = never fired).
+    trigger_index:
+        Trace index of the first trace with the Trojan active.
+    config:
+        Simulation config (capture duration).
+    model:
+        Timing model.
+    """
+    if alarm_index is None:
+        return MttdResult(detected=False, traces_to_detect=None, mttd_s=None)
+    if alarm_index < trigger_index:
+        raise AnalysisError(
+            f"alarm at trace {alarm_index} precedes the activation at "
+            f"{trigger_index} — false positive, not an MTTD"
+        )
+    model = model or MttdModel()
+    traces = alarm_index - trigger_index + 1
+    return MttdResult(
+        detected=True,
+        traces_to_detect=traces,
+        mttd_s=traces * model.trace_period(config),
+    )

@@ -1,0 +1,147 @@
+"""Sideband bookkeeping and prominent-component identification.
+
+With a 33 MHz clock and an 11-cycle AES block, the Trojans' round-
+synchronous switching modulates the clock-harmonic comb at the 5th
+block harmonic (15 MHz).  The ~50 %-duty supply-current kernel keeps
+odd clock harmonics only, so the Trojan sidebands appear at
+
+    33 MHz + 15 MHz = 48 MHz      (1st harmonic, upper sideband)
+    99 MHz - 15 MHz = 84 MHz      (3rd harmonic, lower sideband)
+
+exactly where the paper finds its "two prominent frequency components".
+The mirror images (18 MHz, 114 MHz) are suppressed by the measurement
+chain's band shaping.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ...config import SimConfig
+from ...dsp.transforms import Spectrum
+from ...errors import AnalysisError
+from ...trojans.base import SIDEBAND_BLOCK_HARMONIC
+
+#: Clock-harmonic/offset pairs of the suppressed image sidebands.
+IMAGE_OFFSET_HARMONICS: Tuple[Tuple[int, int], ...] = ((1, -1), (3, +1))
+
+
+def clock_harmonics(config: SimConfig, f_max: float = 120e6) -> List[float]:
+    """Clock harmonics inside the display band."""
+    harmonics = []
+    k = 1
+    while k * config.f_clock <= f_max:
+        harmonics.append(k * config.f_clock)
+        k += 1
+    return harmonics
+
+
+def sideband_frequencies(config: SimConfig) -> Tuple[float, float]:
+    """The two prominent Trojan sideband frequencies [Hz] (48/84 MHz)."""
+    f_mod = SIDEBAND_BLOCK_HARMONIC * config.f_block
+    return (config.f_clock + f_mod, 3.0 * config.f_clock - f_mod)
+
+
+def image_frequencies(config: SimConfig) -> Tuple[float, float]:
+    """The band-shaped-away image sidebands [Hz] (18/114 MHz)."""
+    f_mod = SIDEBAND_BLOCK_HARMONIC * config.f_block
+    return (config.f_clock - f_mod, 3.0 * config.f_clock + f_mod)
+
+
+def _amp_near(spectrum: Spectrum, freq: float, halfwidth: float) -> float:
+    """Peak amplitude within ``freq +- halfwidth``."""
+    mask = np.abs(spectrum.freqs - freq) <= halfwidth
+    if not mask.any():
+        raise AnalysisError(
+            f"no spectrum bins within {halfwidth/1e3:.0f} kHz of "
+            f"{freq/1e6:.1f} MHz"
+        )
+    return float(spectrum.amps[mask].max())
+
+
+def sideband_amplitude(
+    spectrum: Spectrum,
+    config: SimConfig,
+    halfwidth: float = 250e3,
+) -> float:
+    """RMS of the two prominent sideband amplitudes [V].
+
+    The linear-amplitude form is what the localizer ranks sensors by:
+    identical coils make absolute amplitudes directly comparable, and
+    a quiet corner sensor cannot win on a large *relative* change the
+    way it could with a dB score.
+    """
+    lower, upper = sideband_frequencies(config)
+    return float(
+        np.sqrt(
+            0.5
+            * (
+                _amp_near(spectrum, lower, halfwidth) ** 2
+                + _amp_near(spectrum, upper, halfwidth) ** 2
+            )
+        )
+    )
+
+
+def sideband_feature_db(
+    spectrum: Spectrum,
+    config: SimConfig,
+    halfwidth: float = 250e3,
+) -> float:
+    """The run-time detection statistic of one spectrum [dBuV].
+
+    The sideband RMS of :func:`sideband_amplitude` in dB relative to
+    1 uV.  An absolute level (rather than a carrier-normalized ratio)
+    keeps every Trojan's signature one-sided: all four payloads *add*
+    sideband energy, while T4's heater would partially mask a
+    carrier-normalized ratio by raising the clock harmonics too.  Gain
+    drift is handled by the detector's self-referencing baseline.
+    """
+    sb = sideband_amplitude(spectrum, config, halfwidth)
+    floor = np.finfo(float).tiny
+    return float(20.0 * np.log10(max(sb, floor) / 1e-6))
+
+
+def find_prominent_components(
+    active: Spectrum,
+    baseline: Spectrum,
+    config: SimConfig,
+    top_n: int = 2,
+    min_separation: float = 4e6,
+    harmonic_mask: float = 2e6,
+) -> List[Tuple[float, float]]:
+    """Stage-1 of the cross-domain analysis: where did energy appear?
+
+    Compares the Trojan-active average spectrum against the inactive
+    one, masks the clock harmonics themselves (they move with overall
+    activity, not with Trojan structure), and returns the ``top_n``
+    peaks of *added amplitude* as ``(frequency, delta_db)`` pairs.
+    Ranking by added amplitude (not by dB ratio) is what makes the
+    48/84 MHz sidebands come out on top: they are the largest new
+    components, while near-noise-floor bins can show huge ratios with
+    negligible energy.
+    """
+    if active.freqs.shape != baseline.freqs.shape or not np.allclose(
+        active.freqs, baseline.freqs
+    ):
+        raise AnalysisError("spectra have mismatched frequency axes")
+    floor = np.finfo(float).tiny
+    delta_db = 20.0 * np.log10(
+        np.maximum(active.amps, floor) / np.maximum(baseline.amps, floor)
+    )
+    added = active.amps - baseline.amps
+    freqs = active.freqs
+    masked = added.copy()
+    for harmonic in clock_harmonics(config, float(freqs[-1])):
+        masked[np.abs(freqs - harmonic) <= harmonic_mask] = -np.inf
+    masked[freqs < 5e6] = -np.inf  # ignore the near-DC shelf
+    peaks: List[Tuple[float, float]] = []
+    for _ in range(top_n):
+        index = int(np.argmax(masked))
+        if not np.isfinite(masked[index]) or masked[index] <= 0:
+            break
+        peaks.append((float(freqs[index]), float(delta_db[index])))
+        masked[np.abs(freqs - freqs[index]) < min_separation] = -np.inf
+    return peaks

@@ -1,0 +1,200 @@
+"""The Programmable Sensor Array measurement facade.
+
+Couples the lattice/coil model to the EM substrate: given an
+:class:`~repro.chip.power.ActivityRecord` from the test chip, the PSA
+renders amplified, noisy voltage traces for any programmed sensor —
+the 16 standard sensors of Section V-A or ad-hoc refinement coils.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..calibration import COUPLING_SCALE
+from ..chip.power import ActivityRecord
+from ..chip.testchip import TestChip
+from ..em.amplifier import MeasurementAmplifier
+from ..em.coupling import CouplingMatrix, Receiver, emf_waveforms
+from ..em.noise import NoiseModel
+from ..errors import MeasurementError
+from ..rng import stream
+from ..traces import Trace
+from .coil import Coil
+from .decoder import PsaDecoder
+from .grid import PsaGrid
+from .sensors import N_SENSORS, standard_sensor_coil
+
+
+class ProgrammableSensorArray:
+    """The on-chip PSA, electrically attached to a test chip.
+
+    Parameters
+    ----------
+    chip:
+        The test chip the lattice is fabricated on.
+    turns:
+        Turns per standard sensor coil (5 = the deepest spiral the
+        symmetric 11-pitch sensor supports; see repro.core.sensors).
+    points_per_side:
+        Line-integral resolution of the flux computation.
+    amplifier:
+        Measurement front-end (defaults to the THS4504 model).
+    coupling_scale:
+        Absolute coupling calibration (see :mod:`repro.calibration`).
+    """
+
+    def __init__(
+        self,
+        chip: TestChip,
+        turns: int = 5,
+        points_per_side: int = 48,
+        amplifier: Optional[MeasurementAmplifier] = None,
+        coupling_scale: float = COUPLING_SCALE,
+    ):
+        self.chip = chip
+        self.config = chip.config
+        self.grid = PsaGrid()
+        self.decoder = PsaDecoder()
+        self.amplifier = amplifier or MeasurementAmplifier()
+        self.coupling_scale = coupling_scale
+        self.points_per_side = points_per_side
+        self.sensor_coils: List[Coil] = [
+            standard_sensor_coil(index, turns) for index in range(N_SENSORS)
+        ]
+        receivers = [
+            coil.to_receiver(self.config.vdd, self.config.temperature_c)
+            for coil in self.sensor_coils
+        ]
+        self._coupling = CouplingMatrix(
+            chip.floorplan,
+            receivers,
+            points_per_side=points_per_side,
+            scale=coupling_scale,
+        )
+        self._custom_couplings: Dict[str, CouplingMatrix] = {}
+
+    # -- introspection ---------------------------------------------------------
+
+    @property
+    def coupling(self) -> CouplingMatrix:
+        """Coupling matrix of the 16 standard sensors."""
+        return self._coupling
+
+    def sensor_coil(self, index: int) -> Coil:
+        """Standard coil of one sensor."""
+        if not 0 <= index < N_SENSORS:
+            raise MeasurementError(f"sensor index {index} outside 0..15")
+        return self.sensor_coils[index]
+
+    # -- measurement -----------------------------------------------------------
+
+    def measure_all(
+        self, record: ActivityRecord, trace_index: int = 0
+    ) -> List[Trace]:
+        """Capture one trace from every standard sensor.
+
+        Noise realizations are independent per sensor and per
+        ``trace_index`` but fully reproducible for a given config seed.
+        """
+        emf = emf_waveforms(self._coupling, record)
+        traces = []
+        for index in range(N_SENSORS):
+            traces.append(
+                self._render(
+                    emf[index],
+                    self.sensor_coils[index],
+                    record,
+                    trace_index,
+                )
+            )
+        return traces
+
+    def measure(
+        self, record: ActivityRecord, sensor_index: int, trace_index: int = 0
+    ) -> Trace:
+        """Capture one trace from one standard sensor.
+
+        The gate-level decoder performs the selection, so a tampered
+        decoder would surface here.
+        """
+        if not 0 <= sensor_index < N_SENSORS:
+            raise MeasurementError(f"sensor index {sensor_index} outside 0..15")
+        self.decoder.select(sensor_index)
+        if self.decoder.selected() != sensor_index:
+            raise MeasurementError("decoder selection mismatch")
+        emf = emf_waveforms(self._coupling, record)
+        return self._render(
+            emf[sensor_index],
+            self.sensor_coils[sensor_index],
+            record,
+            trace_index,
+        )
+
+    def measure_coil(
+        self, coil: Coil, record: ActivityRecord, trace_index: int = 0
+    ) -> Trace:
+        """Capture one trace from an ad-hoc programmed coil.
+
+        The coil is programmed onto the lattice for the duration of the
+        measurement (ownership-checked) and released afterwards.
+        """
+        coil.program(self.grid)
+        try:
+            coupling = self._coupling_for(coil)
+            emf = emf_waveforms(coupling, record)
+            return self._render(emf[0], coil, record, trace_index)
+        finally:
+            coil.release(self.grid)
+
+    # -- internals -------------------------------------------------------------
+
+    def _coupling_for(self, coil: Coil) -> CouplingMatrix:
+        key = coil.name
+        cached = self._custom_couplings.get(key)
+        if cached is None:
+            cached = CouplingMatrix(
+                self.chip.floorplan,
+                [coil.to_receiver(self.config.vdd, self.config.temperature_c)],
+                points_per_side=self.points_per_side,
+                scale=self.coupling_scale,
+            )
+            self._custom_couplings[key] = cached
+        return cached
+
+    def _render(
+        self,
+        emf: np.ndarray,
+        coil: Coil,
+        record: ActivityRecord,
+        trace_index: int,
+    ) -> Trace:
+        config = self.config
+        receiver = coil.to_receiver(config.vdd, config.temperature_c)
+        noise_model = NoiseModel(
+            resistance=receiver.r_series,
+            temperature_c=config.temperature_c,
+            ambient_area=receiver.ambient_gain,
+        )
+        tag = f"{record.scenario}/{coil.name}/{trace_index}"
+        sensor_noise = noise_model.sample(
+            config.n_samples, config.fs, stream(config.seed, f"noise/{tag}")
+        )
+        amplified = self.amplifier.amplify(
+            emf + sensor_noise,
+            config.fs,
+            rng=stream(config.seed, f"amp/{tag}"),
+            source_impedance=receiver.r_series,
+        )
+        return Trace(
+            samples=amplified,
+            fs=config.fs,
+            label=coil.name,
+            scenario=record.scenario,
+            meta={
+                "trace_index": trace_index,
+                "r_series": receiver.r_series,
+                "turns": coil.n_turns,
+            },
+        )

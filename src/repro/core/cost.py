@@ -1,0 +1,87 @@
+"""Implementation-cost model (Section V-B).
+
+The paper reports, for the fabricated PSA:
+
+* single T-gate on-resistance ~34 ohm;
+* T-gates add ~5 % of total chip area;
+* PSA wires reduce top-layer routing capacity by only 6.25 % (versus
+  100 % for the single-coil design of He et al.);
+* dynamic power negligible, overhead dominated by T-gate leakage.
+
+This module derives those figures from the layout model: 1296 T-gate
+cells (3.2 um x 4 um custom layout), a placement/control-routing
+overhead factor for the keep-out and gate-signal wiring, and 36 lattice
+tracks of 1 um wire (plus spacing) per routing layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..chip.floorplan import DIE_SIZE
+from ..em.devices import tgate_resistance
+from ..netlist.cells import get_cell
+from ..units import UM
+from .grid import N_SWITCHES, N_WIRES, WIRE_WIDTH
+
+#: Placement overhead multiplier on the raw T-gate cell area
+#: (keep-out, control-signal routing, decoder fanout).
+PLACEMENT_OVERHEAD = 3.0
+
+#: Keep-out spacing each lattice wire adds beyond its 1 um width [m].
+WIRE_KEEPOUT = 0.736 * UM
+
+#: T-gate leakage at nominal corner [A] per cell.
+TGATE_LEAKAGE_A = 3.2e-9
+
+#: Representative total dynamic supply current of the chip [A]
+#: (matches the power model's ~1 mA average at 33 MHz).
+CHIP_DYNAMIC_CURRENT_A = 1.0e-3
+
+
+@dataclass(frozen=True)
+class ImplementationCost:
+    """Derived Section V-B figures.
+
+    Attributes
+    ----------
+    tgate_resistance_ohm:
+        Nominal single T-gate on-resistance.
+    area_overhead_fraction:
+        T-gate area (with placement overhead) over die area.
+    routing_capacity_fraction:
+        Fraction of one top layer's routing capacity used by the
+        lattice wires.
+    single_coil_routing_fraction:
+        The same figure for the whole-layer single coil baseline.
+    power_overhead_fraction:
+        PSA leakage over the chip's dynamic supply current.
+    """
+
+    tgate_resistance_ohm: float
+    area_overhead_fraction: float
+    routing_capacity_fraction: float
+    single_coil_routing_fraction: float
+    power_overhead_fraction: float
+
+
+def implementation_cost(
+    vdd: float = 1.2, temperature_c: float = 25.0
+) -> ImplementationCost:
+    """Compute the Section V-B cost figures from the layout model."""
+    tgate_cell = get_cell("TGATE_PSA")
+    tgate_area = N_SWITCHES * tgate_cell.area_um2 * UM * UM * PLACEMENT_OVERHEAD
+    die_area = DIE_SIZE * DIE_SIZE
+
+    blocked_per_wire = WIRE_WIDTH + WIRE_KEEPOUT
+    routing_fraction = N_WIRES * blocked_per_wire / DIE_SIZE
+
+    leakage = N_SWITCHES * TGATE_LEAKAGE_A
+
+    return ImplementationCost(
+        tgate_resistance_ohm=tgate_resistance(vdd, temperature_c),
+        area_overhead_fraction=tgate_area / die_area,
+        routing_capacity_fraction=routing_fraction,
+        single_coil_routing_fraction=1.0,
+        power_overhead_fraction=leakage / CHIP_DYNAMIC_CURRENT_A,
+    )

@@ -1,0 +1,192 @@
+"""AES-128 block cipher with full round-state history.
+
+The cycle-accurate activity model needs the intermediate state after
+every round, so :func:`encrypt_block_with_history` records them all.
+State layout: a flat 16-byte array in the standard AES column-major
+order (byte ``i`` is row ``i % 4``, column ``i // 4``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from ..errors import ConfigError
+from .key_schedule import expand_key
+from .sbox import INV_SBOX, SBOX, gf_mul
+
+# Byte-index permutation implementing ShiftRows on the flat
+# column-major state (value = source index for each destination).
+_SHIFT_ROWS = np.array(
+    [0, 5, 10, 15, 4, 9, 14, 3, 8, 13, 2, 7, 12, 1, 6, 11], dtype=np.intp
+)
+_INV_SHIFT_ROWS = np.argsort(_SHIFT_ROWS)
+
+# GF(2^8) multiplication tables used by (Inv)MixColumns.
+_MUL = {
+    factor: np.array([gf_mul(value, factor) for value in range(256)], dtype=np.uint8)
+    for factor in (1, 2, 3, 9, 11, 13, 14)
+}
+
+
+def _as_state(data: bytes | np.ndarray) -> np.ndarray:
+    array = np.frombuffer(bytes(data), dtype=np.uint8).copy() if isinstance(
+        data, (bytes, bytearray)
+    ) else np.asarray(data, dtype=np.uint8).copy()
+    if array.shape != (16,):
+        raise ConfigError(f"AES state must be 16 bytes, got shape {array.shape}")
+    return array
+
+
+def _sub_bytes(state: np.ndarray) -> np.ndarray:
+    return SBOX[state]
+
+
+def _inv_sub_bytes(state: np.ndarray) -> np.ndarray:
+    return INV_SBOX[state]
+
+
+def _shift_rows(state: np.ndarray) -> np.ndarray:
+    return state[_SHIFT_ROWS]
+
+
+def _inv_shift_rows(state: np.ndarray) -> np.ndarray:
+    return state[_INV_SHIFT_ROWS]
+
+
+def _mix_single_column(column: np.ndarray, factors: List[int]) -> np.ndarray:
+    out = np.zeros(4, dtype=np.uint8)
+    for row in range(4):
+        acc = 0
+        for k in range(4):
+            acc ^= int(_MUL[factors[(k - row) % 4]][column[k]])
+        out[row] = acc
+    return out
+
+
+def _mix_columns(state: np.ndarray, inverse: bool = False) -> np.ndarray:
+    factors = [14, 11, 13, 9] if inverse else [2, 3, 1, 1]
+    # factors listed so that factors[(k - row) % 4] gives the standard
+    # circulant matrix row [2 3 1 1] (or [14 11 13 9] for the inverse).
+    out = np.zeros_like(state)
+    for col in range(4):
+        out[4 * col : 4 * col + 4] = _mix_single_column(
+            state[4 * col : 4 * col + 4], factors
+        )
+    return out
+
+
+@dataclass(frozen=True)
+class RoundTrace:
+    """Intermediate values of one AES round.
+
+    Attributes
+    ----------
+    round_index:
+        1..10.
+    state_in:
+        State entering the round.
+    after_subbytes, after_shiftrows, after_mixcolumns:
+        Intermediate states (``after_mixcolumns`` equals
+        ``after_shiftrows`` in round 10, which has no MixColumns).
+    state_out:
+        State after AddRoundKey, i.e. entering the next round.
+    """
+
+    round_index: int
+    state_in: np.ndarray
+    after_subbytes: np.ndarray
+    after_shiftrows: np.ndarray
+    after_mixcolumns: np.ndarray
+    state_out: np.ndarray
+
+
+@dataclass(frozen=True)
+class EncryptionHistory:
+    """Complete state evolution of one block encryption.
+
+    Attributes
+    ----------
+    plaintext, ciphertext:
+        Input and output blocks (16-byte uint8 arrays).
+    initial_state:
+        State after the initial AddRoundKey (the LUT core's load cycle).
+    rounds:
+        Ten :class:`RoundTrace` records.
+    round_keys:
+        The 11 round keys.
+    """
+
+    plaintext: np.ndarray
+    ciphertext: np.ndarray
+    initial_state: np.ndarray
+    rounds: List[RoundTrace]
+    round_keys: List[np.ndarray]
+
+    def cycle_states(self) -> List[np.ndarray]:
+        """State captured in the state register at each core cycle.
+
+        Index 0 is the load cycle (plaintext ^ rk0); indices 1..10 are
+        the round outputs.  Length is 11 = the paper core's cycles per
+        block.
+        """
+        return [self.initial_state] + [r.state_out for r in self.rounds]
+
+
+def encrypt_block_with_history(
+    plaintext: bytes | np.ndarray, key: bytes
+) -> EncryptionHistory:
+    """Encrypt one block, recording every intermediate state."""
+    state = _as_state(plaintext)
+    plaintext_arr = state.copy()
+    round_keys = expand_key(key)
+    state = state ^ round_keys[0]
+    initial_state = state.copy()
+    rounds: List[RoundTrace] = []
+    for round_index in range(1, 11):
+        state_in = state.copy()
+        after_sub = _sub_bytes(state)
+        after_shift = _shift_rows(after_sub)
+        if round_index < 10:
+            after_mix = _mix_columns(after_shift)
+        else:
+            after_mix = after_shift.copy()
+        state = after_mix ^ round_keys[round_index]
+        rounds.append(
+            RoundTrace(
+                round_index=round_index,
+                state_in=state_in,
+                after_subbytes=after_sub,
+                after_shiftrows=after_shift,
+                after_mixcolumns=after_mix,
+                state_out=state.copy(),
+            )
+        )
+    return EncryptionHistory(
+        plaintext=plaintext_arr,
+        ciphertext=state.copy(),
+        initial_state=initial_state,
+        rounds=rounds,
+        round_keys=round_keys,
+    )
+
+
+def encrypt_block(plaintext: bytes | np.ndarray, key: bytes) -> bytes:
+    """Encrypt one 16-byte block; returns the 16-byte ciphertext."""
+    return bytes(encrypt_block_with_history(plaintext, key).ciphertext)
+
+
+def decrypt_block(ciphertext: bytes | np.ndarray, key: bytes) -> bytes:
+    """Decrypt one 16-byte block; returns the 16-byte plaintext."""
+    state = _as_state(ciphertext)
+    round_keys = expand_key(key)
+    state = state ^ round_keys[10]
+    for round_index in range(10, 0, -1):
+        state = _inv_shift_rows(state)
+        state = _inv_sub_bytes(state)
+        state = state ^ round_keys[round_index - 1]
+        if round_index > 1:
+            state = _mix_columns(state, inverse=True)
+    return bytes(state)

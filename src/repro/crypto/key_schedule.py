@@ -1,0 +1,50 @@
+"""AES-128 key schedule."""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..errors import ConfigError
+from .sbox import SBOX, gf_mul
+
+
+def _rcon(round_index: int) -> int:
+    """Round constant for round 1..10."""
+    value = 1
+    for _ in range(round_index - 1):
+        value = gf_mul(value, 2)
+    return value
+
+
+def expand_key(key: bytes) -> List[np.ndarray]:
+    """Expand a 16-byte key into 11 round keys.
+
+    Returns a list of 11 arrays of shape (16,), dtype uint8, in the
+    byte order produced by the standard column-major AES word schedule.
+
+    Raises
+    ------
+    ConfigError
+        If the key is not exactly 16 bytes.
+    """
+    if len(key) != 16:
+        raise ConfigError(f"AES-128 key must be 16 bytes, got {len(key)}")
+    words = [list(key[4 * i : 4 * i + 4]) for i in range(4)]
+    for i in range(4, 44):
+        temp = list(words[i - 1])
+        if i % 4 == 0:
+            temp = temp[1:] + temp[:1]  # RotWord
+            temp = [int(SBOX[b]) for b in temp]  # SubWord
+            temp[0] ^= _rcon(i // 4)
+        words.append([t ^ w for t, w in zip(temp, words[i - 4])])
+    round_keys = []
+    for round_index in range(11):
+        flat = [
+            byte
+            for word in words[4 * round_index : 4 * round_index + 4]
+            for byte in word
+        ]
+        round_keys.append(np.array(flat, dtype=np.uint8))
+    return round_keys

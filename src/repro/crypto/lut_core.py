@@ -1,0 +1,235 @@
+"""Cycle-accurate activity model of the AES-128-LUT core.
+
+The paper's core spends 11 clock cycles per block (one load cycle plus
+ten rounds) at 33 MHz, so the block rate is 3 MHz.  Each cycle, the
+combinational cone (S-box bank, MixColumns network, AddRoundKey XORs)
+and the state registers toggle in proportion to the Hamming distance of
+the data moving through them — the standard dynamic-power abstraction.
+
+:class:`AesLutCore` turns a plaintext stream into per-module toggle
+counts per cycle; those feed the floorplan/EM model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from ..config import SimConfig
+from ..errors import WorkloadError
+from ..netlist.builder import MAIN_MODULE_TOTALS
+from .cipher import EncryptionHistory, encrypt_block_with_history
+
+#: Cycles per AES block in the LUT core (load + 10 rounds).
+BLOCK_CYCLES = 11
+
+#: Toggling cells per unit normalized Hamming activity, per module.
+#: Values > 1 reflect glitching in deep XOR cones (MixColumns), < 1
+#: reflect partially idle logic.
+_ACTIVITY_FACTORS: Dict[str, float] = {
+    "aes_sbox_bank": 1.10,
+    "aes_key_expand": 0.55,
+    "aes_mixcolumns": 1.45,
+    "aes_addroundkey": 0.95,
+    "aes_state_regs": 0.50,
+    "aes_round_ctrl": 0.30,
+}
+
+#: Constant per-cycle activity fractions (clocking, control).
+_BASELINE_FRACTIONS: Dict[str, float] = {
+    "aes_round_ctrl": 0.15,
+    "clock_tree": 0.90,
+    "uart_core": 0.02,
+    "uart_fifo": 0.01,
+    "psa_control": 0.01,
+    "io_ring": 0.02,
+}
+
+#: Clock-tree activity fraction when the core is idle but powered
+#: (clock gated at the root; only a residual stub toggles).
+_IDLE_CLOCK_FRACTION = 0.004
+
+
+def _hamming(a: np.ndarray, b: np.ndarray) -> int:
+    """Bit-level Hamming distance between two byte arrays."""
+    return int(
+        np.unpackbits(np.bitwise_xor(a, b)).sum()
+    )
+
+
+@dataclass(frozen=True)
+class CoreActivity:
+    """Per-module toggle counts per cycle.
+
+    Attributes
+    ----------
+    toggles:
+        Mapping from module name to an array of shape ``(n_cycles,)``
+        with the expected number of cell output toggles in that cycle.
+    histories:
+        The encryption histories that generated the activity (one per
+        completed block), useful for Trojan models that key off the
+        processed data.
+    block_of_cycle:
+        For each cycle, the block index being processed.
+    phase_of_cycle:
+        For each cycle, the position within the block (0 = load cycle).
+    """
+
+    toggles: Dict[str, np.ndarray]
+    histories: List[EncryptionHistory]
+    block_of_cycle: np.ndarray
+    phase_of_cycle: np.ndarray
+
+    @property
+    def n_cycles(self) -> int:
+        """Number of simulated cycles."""
+        return int(self.block_of_cycle.size)
+
+    def total(self) -> np.ndarray:
+        """Summed toggle count across modules, per cycle."""
+        return np.sum(list(self.toggles.values()), axis=0)
+
+
+class AesLutCore:
+    """Behavioural AES-128-LUT core with an activity model.
+
+    Parameters
+    ----------
+    key:
+        The 16-byte AES key stored in the core.
+    config:
+        Simulation configuration (clock, cycles per trace).
+
+    Notes
+    -----
+    The core encrypts back-to-back: a new block starts every
+    ``BLOCK_CYCLES`` cycles, matching the paper's evaluation where the
+    chip continuously receives plaintext over UART and streams
+    ciphertext back.
+    """
+
+    def __init__(self, key: bytes, config: SimConfig):
+        if len(key) != 16:
+            raise WorkloadError(f"AES-128 key must be 16 bytes, got {len(key)}")
+        if config.block_cycles != BLOCK_CYCLES:
+            raise WorkloadError(
+                f"config.block_cycles={config.block_cycles} does not match "
+                f"the LUT core's {BLOCK_CYCLES}-cycle block"
+            )
+        self.key = bytes(key)
+        self.config = config
+
+    # -- public API ----------------------------------------------------------
+
+    def run(self, plaintexts: Sequence[bytes], idle: bool = False) -> CoreActivity:
+        """Simulate one trace window.
+
+        Parameters
+        ----------
+        plaintexts:
+            Blocks to encrypt, consumed in order and recycled if the
+            window needs more blocks than supplied.
+        idle:
+            If True the core is powered but not encrypting (the paper's
+            noise-measurement condition): only residual clock activity.
+        """
+        config = self.config
+        n_cycles = config.n_cycles
+        cycles = np.arange(n_cycles)
+        block_of_cycle = cycles // BLOCK_CYCLES
+        phase_of_cycle = cycles % BLOCK_CYCLES
+
+        toggles: Dict[str, np.ndarray] = {
+            module: np.zeros(n_cycles) for module in MAIN_MODULE_TOTALS
+        }
+
+        if idle:
+            clock_cells = MAIN_MODULE_TOTALS["clock_tree"]
+            toggles["clock_tree"] += clock_cells * _IDLE_CLOCK_FRACTION
+            return CoreActivity(
+                toggles=toggles,
+                histories=[],
+                block_of_cycle=block_of_cycle,
+                phase_of_cycle=phase_of_cycle,
+            )
+
+        if not plaintexts:
+            raise WorkloadError("plaintext stream is empty")
+
+        # Constant baseline activity.
+        for module, fraction in _BASELINE_FRACTIONS.items():
+            toggles[module] += MAIN_MODULE_TOTALS[module] * fraction
+
+        n_blocks = int(block_of_cycle[-1]) + 1
+        histories: List[EncryptionHistory] = []
+        previous_final: np.ndarray | None = None
+        for block in range(n_blocks):
+            plaintext = bytes(plaintexts[block % len(plaintexts)])
+            history = encrypt_block_with_history(plaintext, self.key)
+            histories.append(history)
+            self._accumulate_block(
+                toggles, history, block, previous_final, n_cycles
+            )
+            previous_final = history.ciphertext
+
+        return CoreActivity(
+            toggles=toggles,
+            histories=histories,
+            block_of_cycle=block_of_cycle,
+            phase_of_cycle=phase_of_cycle,
+        )
+
+    # -- internals -----------------------------------------------------------
+
+    def _accumulate_block(
+        self,
+        toggles: Dict[str, np.ndarray],
+        history: EncryptionHistory,
+        block: int,
+        previous_final: np.ndarray | None,
+        n_cycles: int,
+    ) -> None:
+        """Add one block's data-dependent activity into ``toggles``."""
+        base_cycle = block * BLOCK_CYCLES
+        states = history.cycle_states()
+        round_keys = history.round_keys
+
+        for phase in range(BLOCK_CYCLES):
+            cycle = base_cycle + phase
+            if cycle >= n_cycles:
+                return
+            if phase == 0:
+                # Load cycle: state register swings from the previous
+                # ciphertext to plaintext ^ rk0.
+                reference = (
+                    previous_final
+                    if previous_final is not None
+                    else np.zeros(16, dtype=np.uint8)
+                )
+                hd_state = _hamming(reference, states[0])
+                hd_sbox = hd_state  # S-box inputs swing with the state
+                hd_mix = 0
+                hd_key = _hamming(round_keys[10], round_keys[0])
+            else:
+                trace = history.rounds[phase - 1]
+                hd_state = _hamming(states[phase - 1], states[phase])
+                hd_sbox = _hamming(trace.state_in, trace.after_subbytes)
+                hd_mix = _hamming(trace.after_shiftrows, trace.after_mixcolumns)
+                hd_key = _hamming(round_keys[phase - 1], round_keys[phase])
+
+            normalized = {
+                "aes_sbox_bank": hd_sbox / 128.0,
+                "aes_key_expand": hd_key / 128.0,
+                "aes_mixcolumns": hd_mix / 128.0,
+                "aes_addroundkey": hd_state / 128.0,
+                "aes_state_regs": hd_state / 128.0,
+                "aes_round_ctrl": 0.5,
+            }
+            for module, activity in normalized.items():
+                factor = _ACTIVITY_FACTORS[module]
+                toggles[module][cycle] += (
+                    MAIN_MODULE_TOTALS[module] * factor * activity
+                )

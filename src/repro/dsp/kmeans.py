@@ -1,0 +1,147 @@
+"""K-means clustering, implemented from scratch (k-means++ init).
+
+Used by the backscattering baseline (Nguyen et al., HOST'20) and by the
+unsupervised Trojan identifier.  No external ML dependency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import AnalysisError
+
+
+@dataclass(frozen=True)
+class KMeansResult:
+    """Outcome of one K-means fit.
+
+    Attributes
+    ----------
+    centers:
+        Cluster centers, shape ``(k, n_features)``.
+    labels:
+        Cluster index per sample, shape ``(n_samples,)``.
+    inertia:
+        Sum of squared distances of samples to their assigned center.
+    n_iterations:
+        Lloyd iterations actually performed.
+    """
+
+    centers: np.ndarray
+    labels: np.ndarray
+    inertia: float
+    n_iterations: int
+
+
+class KMeans:
+    """Lloyd's algorithm with k-means++ seeding and restarts.
+
+    Parameters
+    ----------
+    n_clusters:
+        Number of clusters ``k``.
+    n_init:
+        Independent restarts; the best inertia wins.
+    max_iter:
+        Maximum Lloyd iterations per restart.
+    tol:
+        Relative center-movement convergence tolerance.
+    rng:
+        Numpy random generator (defaults to a fixed-seed generator so
+        results are reproducible).
+    """
+
+    def __init__(
+        self,
+        n_clusters: int,
+        n_init: int = 8,
+        max_iter: int = 200,
+        tol: float = 1e-7,
+        rng: np.random.Generator | None = None,
+    ):
+        if n_clusters < 1:
+            raise AnalysisError(f"n_clusters must be >= 1, got {n_clusters}")
+        if n_init < 1:
+            raise AnalysisError(f"n_init must be >= 1, got {n_init}")
+        self.n_clusters = n_clusters
+        self.n_init = n_init
+        self.max_iter = max_iter
+        self.tol = tol
+        self._rng = rng if rng is not None else np.random.default_rng(7)
+
+    def fit(self, data: np.ndarray) -> KMeansResult:
+        """Cluster ``data`` of shape (n_samples, n_features)."""
+        data = np.asarray(data, dtype=float)
+        if data.ndim != 2:
+            raise AnalysisError("KMeans expects a 2-D (samples x features) matrix")
+        n_samples = data.shape[0]
+        if n_samples < self.n_clusters:
+            raise AnalysisError(
+                f"cannot form {self.n_clusters} clusters from "
+                f"{n_samples} samples"
+            )
+        best: KMeansResult | None = None
+        for _ in range(self.n_init):
+            result = self._single_run(data)
+            if best is None or result.inertia < best.inertia:
+                best = result
+        assert best is not None
+        return best
+
+    # -- internals -----------------------------------------------------------
+
+    def _single_run(self, data: np.ndarray) -> KMeansResult:
+        centers = self._kmeanspp_init(data)
+        labels = np.zeros(data.shape[0], dtype=int)
+        n_iterations = 0
+        for iteration in range(1, self.max_iter + 1):
+            n_iterations = iteration
+            distances = _sq_distances(data, centers)
+            labels = np.argmin(distances, axis=1)
+            new_centers = centers.copy()
+            for k in range(self.n_clusters):
+                members = data[labels == k]
+                if members.size:
+                    new_centers[k] = members.mean(axis=0)
+                else:
+                    # Re-seed an empty cluster at the worst-fit point.
+                    worst = int(np.argmax(np.min(distances, axis=1)))
+                    new_centers[k] = data[worst]
+            movement = float(np.linalg.norm(new_centers - centers))
+            scale = float(np.linalg.norm(centers)) or 1.0
+            centers = new_centers
+            if movement / scale < self.tol:
+                break
+        distances = _sq_distances(data, centers)
+        labels = np.argmin(distances, axis=1)
+        inertia = float(np.sum(np.min(distances, axis=1)))
+        return KMeansResult(
+            centers=centers,
+            labels=labels,
+            inertia=inertia,
+            n_iterations=n_iterations,
+        )
+
+    def _kmeanspp_init(self, data: np.ndarray) -> np.ndarray:
+        n_samples = data.shape[0]
+        first = int(self._rng.integers(n_samples))
+        centers = [data[first]]
+        for _ in range(1, self.n_clusters):
+            distances = np.min(_sq_distances(data, np.asarray(centers)), axis=1)
+            total = float(distances.sum())
+            if total == 0.0:
+                # All points coincide with existing centers.
+                choice = int(self._rng.integers(n_samples))
+            else:
+                probs = distances / total
+                choice = int(self._rng.choice(n_samples, p=probs))
+            centers.append(data[choice])
+        return np.asarray(centers, dtype=float)
+
+
+def _sq_distances(data: np.ndarray, centers: np.ndarray) -> np.ndarray:
+    """Squared Euclidean distances, shape (n_samples, n_centers)."""
+    diff = data[:, None, :] - centers[None, :, :]
+    return np.einsum("ijk,ijk->ij", diff, diff)

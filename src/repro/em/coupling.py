@@ -1,0 +1,268 @@
+"""Coupling matrices and EMF synthesis.
+
+``CouplingMatrix`` maps per-region currents to flux linkage in every
+receiver (PSA coils, probes, single coil); :func:`emf_waveforms` turns
+an :class:`~repro.chip.power.ActivityRecord` into induced-voltage
+waveforms by convolving the per-cycle charge train with the
+differentiated current kernel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+import numpy as np
+from scipy import signal as scipy_signal
+
+from ..chip.floorplan import DIE_SIZE, REGION_LOOP_AREA, Floorplan, Rect
+from ..chip.power import ActivityRecord, charge_per_toggle, emf_kernel
+from ..config import SimConfig
+from ..errors import ConfigError
+from .loops import turns_flux_factor
+
+#: Effective area of the package/bond-wire supply loop [m^2].  The
+#: total chip current returns through bondwires and the package plane,
+#: forming a die-scale loop — the dominant source for external probes.
+BOND_LOOP_AREA = 3.0e-6
+
+#: Height of the bond-loop's equivalent dipole below the die surface [m].
+BOND_LOOP_Z = -0.4e-3
+
+
+@dataclass(frozen=True)
+class Receiver:
+    """A flux-sensing structure (coil/probe).
+
+    Attributes
+    ----------
+    name:
+        Identifier, e.g. ``"psa_sensor_10"`` or ``"langer_lf1"``.
+    turns:
+        Enclosed rectangle of each series turn.
+    z:
+        Height of the sensing plane above the switching layer [m].
+    r_series:
+        Series resistance of the winding (wire + switches) [ohm].
+    inductance:
+        Series self-inductance estimate [H].
+    ambient_gain:
+        Effective area [m^2] multiplying the ambient field pickup
+        (large for external probes, tiny for shielded on-chip coils).
+    gain_jitter:
+        Relative per-measurement gain drift (1-sigma).  External probes
+        are repositioned between captures and their fixtures drift;
+        fabricated on-chip coils have none.  This drift is the dominant
+        reason conventional probe statistics need thousands of traces.
+    """
+
+    name: str
+    turns: List[Rect]
+    z: float
+    r_series: float
+    inductance: float = 0.0
+    ambient_gain: float = 0.0
+    gain_jitter: float = 0.0
+
+    @property
+    def total_turn_area(self) -> float:
+        """Sum of the enclosed areas of all turns [m^2]."""
+        return float(sum(turn.area for turn in self.turns))
+
+
+class CouplingMatrix:
+    """Flux-linkage matrix between floorplan regions and receivers.
+
+    Parameters
+    ----------
+    floorplan:
+        Provides the dipole-pair source geometry.
+    receivers:
+        Sensing structures.
+    loop_area:
+        Effective supply-loop area per region [m^2] (dipole moment per
+        ampere).
+    points_per_side:
+        Line-integral resolution of the flux computation.
+    scale:
+        Dimensionless absolute-coupling calibration applied uniformly
+        to the region-dipole matrix (see :mod:`repro.calibration`);
+        relative comparisons between receivers are unaffected.
+    bond_scale:
+        Calibration of the package/bond-loop coupling (the global
+        total-current term).
+    return_fraction:
+        Weight of the local return pole (see
+        :data:`repro.calibration.RETURN_FRACTION`).
+    """
+
+    def __init__(
+        self,
+        floorplan: Floorplan,
+        receivers: Sequence[Receiver],
+        loop_area: float = REGION_LOOP_AREA,
+        points_per_side: int = 48,
+        scale: float = 1.0,
+        bond_scale: float | None = None,
+        return_fraction: float | None = None,
+    ):
+        if not receivers:
+            raise ConfigError("need at least one receiver")
+        if scale <= 0:
+            raise ConfigError(f"coupling scale must be positive, got {scale}")
+        from ..calibration import BOND_COUPLING_SCALE, RETURN_FRACTION
+
+        self.floorplan = floorplan
+        self.receivers = list(receivers)
+        self.loop_area = loop_area
+        self.points_per_side = points_per_side
+        self.scale = scale
+        self.bond_scale = (
+            BOND_COUPLING_SCALE if bond_scale is None else bond_scale
+        )
+        self.return_fraction = (
+            RETURN_FRACTION if return_fraction is None else return_fraction
+        )
+        if not 0.0 <= self.return_fraction <= 1.0:
+            raise ConfigError("return_fraction must be within [0, 1]")
+        self.matrix = self._build()
+        self.bond_row = self._build_bond_row()
+
+    def _build(self) -> np.ndarray:
+        """Region-dipole flux matrix, with area smearing.
+
+        A region's current is distributed, not a point: each source
+        pole is averaged over a 2x2 sample grid inside its region, and
+        each return pole over the same span along its stripe.  The
+        smearing removes the artificial sensitivity of thin-loop flux
+        to a point dipole grazing a coil wire.
+        """
+        sources, returns = self.floorplan.dipole_pairs()
+        quarter = self.floorplan.region_size / 4.0
+        source_offsets = np.array(
+            [[-quarter, -quarter], [quarter, -quarter],
+             [-quarter, quarter], [quarter, quarter]]
+        )
+        return_offsets = np.array(
+            [[0.0, -quarter], [0.0, quarter]]
+        )
+        rows = []
+        for receiver in self.receivers:
+            flux_pos = np.zeros(sources.shape[0])
+            for offset in source_offsets:
+                flux_pos += turns_flux_factor(
+                    receiver.turns,
+                    receiver.z,
+                    sources + offset,
+                    0.0,
+                    self.points_per_side,
+                )
+            flux_pos /= len(source_offsets)
+            flux_neg = np.zeros(returns.shape[0])
+            for offset in return_offsets:
+                flux_neg += turns_flux_factor(
+                    receiver.turns,
+                    receiver.z,
+                    returns + offset,
+                    0.0,
+                    self.points_per_side,
+                )
+            flux_neg /= len(return_offsets)
+            rows.append(
+                (flux_pos - self.return_fraction * flux_neg)
+                * self.loop_area
+                * self.scale
+            )
+        matrix = np.asarray(rows)
+        matrix.setflags(write=False)
+        return matrix
+
+    def _build_bond_row(self) -> np.ndarray:
+        """Per-receiver flux linkage with the package loop [Wb/A]."""
+        center = np.array([[DIE_SIZE / 2.0, DIE_SIZE / 2.0]])
+        row = np.zeros(len(self.receivers))
+        for index, receiver in enumerate(self.receivers):
+            factor = turns_flux_factor(
+                receiver.turns,
+                receiver.z,
+                center,
+                BOND_LOOP_Z,
+                self.points_per_side,
+            )
+            row[index] = factor[0] * BOND_LOOP_AREA * self.bond_scale
+        row.setflags(write=False)
+        return row
+
+    @property
+    def n_receivers(self) -> int:
+        """Number of receivers."""
+        return len(self.receivers)
+
+    def row(self, name: str) -> np.ndarray:
+        """Coupling row [Wb/A per region] of the named receiver."""
+        for index, receiver in enumerate(self.receivers):
+            if receiver.name == name:
+                return self.matrix[index]
+        raise ConfigError(f"no receiver named {name!r}")
+
+    def index_of(self, name: str) -> int:
+        """Index of the named receiver."""
+        for index, receiver in enumerate(self.receivers):
+            if receiver.name == name:
+                return index
+        raise ConfigError(f"no receiver named {name!r}")
+
+
+def _charge_train(
+    amplitudes: np.ndarray, config: SimConfig, sample_offset: int
+) -> np.ndarray:
+    """Spread per-cycle charges onto the fast-time grid as impulses."""
+    n_receivers, n_cycles = amplitudes.shape
+    train = np.zeros((n_receivers, config.n_samples))
+    positions = np.arange(n_cycles) * config.oversample + sample_offset
+    positions = positions[positions < config.n_samples]
+    train[:, positions] = amplitudes[:, : positions.size]
+    return train
+
+
+def emf_waveforms(
+    coupling: CouplingMatrix,
+    record: ActivityRecord,
+    switch_cap: float | None = None,
+) -> np.ndarray:
+    """Induced EMF at every receiver, shape ``(n_receivers, n_samples)``.
+
+    The main-circuit logic (and rising-phase Trojans such as T4's
+    synchronous power virus) switches at the clock rising edge;
+    falling-phase Trojan payloads render half a cycle later — this
+    phase structure survives into the sideband spectrum.
+    """
+    config = record.config
+    from ..chip.power import MEAN_SWITCH_CAP
+
+    cap = MEAN_SWITCH_CAP if switch_cap is None else switch_cap
+    q_per_toggle = charge_per_toggle(config.vdd, cap)
+
+    # (n_receivers, n_cycles) charge amplitudes: region dipoles plus the
+    # global package-loop (total-current) term.
+    rising = record.main + record.trojan_rising
+    main_q = coupling.matrix @ (rising * q_per_toggle)
+    trojan_q = coupling.matrix @ (record.trojan * q_per_toggle)
+    main_q += np.outer(coupling.bond_row, rising.sum(axis=0) * q_per_toggle)
+    trojan_q += np.outer(
+        coupling.bond_row, record.trojan.sum(axis=0) * q_per_toggle
+    )
+
+    kernel = emf_kernel(config)
+    half_cycle = config.oversample // 2
+    emf = _convolve_train(_charge_train(main_q, config, 0), kernel)
+    emf += _convolve_train(
+        _charge_train(trojan_q, config, half_cycle), kernel
+    )
+    return emf
+
+
+def _convolve_train(train: np.ndarray, kernel: np.ndarray) -> np.ndarray:
+    """Convolve each row with the kernel, keeping the input length."""
+    full = scipy_signal.fftconvolve(train, kernel[None, :], mode="full")
+    return full[:, : train.shape[1]]

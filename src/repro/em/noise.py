@@ -1,0 +1,100 @@
+"""Noise sources of the measurement chain.
+
+Three contributors, matching the paper's setup:
+
+* **Johnson noise** of the winding's series resistance (dominant for
+  high-resistance programmed coils with many T-gates in the path);
+* **amplifier input noise** (handled by
+  :class:`repro.em.amplifier.MeasurementAmplifier`);
+* **ambient pickup** — broadcast/lab interference linked by the loop
+  area.  Negligible for on-chip coils under the package lid, dominant
+  for external probes, which is a large part of their SNR deficit.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..units import KB, celsius_to_kelvin
+
+#: Ambient field pickup at the PCB surface [V RMS per m^2 of loop area].
+#: Calibrated so the Langer LF1 probe lands near its measured 14.3 dB
+#: SNR (see repro.calibration).
+AMBIENT_VRMS_PER_M2 = 0.34
+
+#: Ambient narrowband interferers: (frequency [Hz], fraction of ambient RMS).
+AMBIENT_TONES = ((30.0e6, 0.20), (88.0e6, 0.15), (100.0e6, 0.10))
+
+
+def johnson_rms(resistance: float, temperature_c: float, bandwidth: float) -> float:
+    """Thermal noise RMS voltage of a resistor over a bandwidth."""
+    if resistance < 0 or bandwidth <= 0:
+        raise ConfigError("resistance must be >= 0 and bandwidth > 0")
+    temperature_k = celsius_to_kelvin(temperature_c)
+    return math.sqrt(4.0 * KB * temperature_k * resistance * bandwidth)
+
+
+def ambient_rms(loop_area: float) -> float:
+    """Ambient pickup RMS voltage for a given effective loop area."""
+    if loop_area < 0:
+        raise ConfigError("loop area must be >= 0")
+    return AMBIENT_VRMS_PER_M2 * loop_area
+
+
+class NoiseModel:
+    """Generates the additive noise at a receiver's terminals.
+
+    Parameters
+    ----------
+    resistance:
+        Winding series resistance [ohm].
+    temperature_c:
+        Ambient temperature [C].
+    ambient_area:
+        Effective ambient-pickup area [m^2].
+    """
+
+    def __init__(
+        self,
+        resistance: float,
+        temperature_c: float,
+        ambient_area: float = 0.0,
+    ):
+        self.resistance = resistance
+        self.temperature_c = temperature_c
+        self.ambient_area = ambient_area
+
+    def sample(
+        self, n_samples: int, fs: float, rng: np.random.Generator
+    ) -> np.ndarray:
+        """One noise realization of ``n_samples`` at rate ``fs``."""
+        if n_samples < 1:
+            raise ConfigError("n_samples must be >= 1")
+        bandwidth = fs / 2.0
+        thermal = johnson_rms(self.resistance, self.temperature_c, bandwidth)
+        noise = rng.normal(0.0, thermal, n_samples) if thermal > 0 else np.zeros(
+            n_samples
+        )
+        amb_rms = ambient_rms(self.ambient_area)
+        if amb_rms > 0.0:
+            t = np.arange(n_samples) / fs
+            tone_fraction = sum(fraction for _f, fraction in AMBIENT_TONES)
+            broadband = amb_rms * math.sqrt(max(1.0 - tone_fraction, 0.0))
+            noise = noise + rng.normal(0.0, broadband, n_samples)
+            for freq, fraction in AMBIENT_TONES:
+                if freq < fs / 2:
+                    phase = rng.uniform(0.0, 2.0 * math.pi)
+                    amplitude = amb_rms * fraction * math.sqrt(2.0)
+                    noise = noise + amplitude * np.sin(
+                        2.0 * math.pi * freq * t + phase
+                    )
+        return noise
+
+    def total_rms(self, fs: float) -> float:
+        """Predicted RMS of one realization (thermal + ambient)."""
+        thermal = johnson_rms(self.resistance, self.temperature_c, fs / 2.0)
+        ambient = ambient_rms(self.ambient_area)
+        return math.sqrt(thermal**2 + ambient**2)

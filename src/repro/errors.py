@@ -1,0 +1,52 @@
+"""Exception hierarchy for the PSA-EM reproduction library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers
+can catch library failures with a single ``except`` clause while still
+letting programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by :mod:`repro`."""
+
+
+class ConfigError(ReproError):
+    """An invalid simulation or device configuration was supplied."""
+
+
+class NetlistError(ReproError):
+    """A netlist operation failed (duplicate instance, unknown cell...)."""
+
+
+class LogicSimulationError(ReproError):
+    """The event-driven logic simulator hit an inconsistent state."""
+
+
+class FloorplanError(ReproError):
+    """A floorplan/placement constraint was violated."""
+
+
+class GridProgrammingError(ReproError):
+    """A PSA lattice programming request is geometrically impossible."""
+
+
+class CoilSynthesisError(GridProgrammingError):
+    """A requested coil cannot be synthesized on the lattice."""
+
+
+class MeasurementError(ReproError):
+    """An instrument was asked for a measurement it cannot perform."""
+
+
+class AnalysisError(ReproError):
+    """The cross-domain analysis pipeline received unusable data."""
+
+
+class TraceIOError(ReproError):
+    """Reading or writing a trace archive failed."""
+
+
+class WorkloadError(ReproError):
+    """A workload/campaign specification is invalid."""

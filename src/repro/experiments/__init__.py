@@ -1,0 +1,24 @@
+"""Experiment harnesses — one per paper table/figure.
+
+Every module exposes a ``run_*`` function returning a structured result
+and a ``format_*`` helper that renders the same rows/series the paper
+reports.  The benchmark suite calls the ``run_*`` functions; the CLI
+prints the formatted output.
+
+Index (see DESIGN.md section 4):
+
+* :mod:`table1`  — Table I method comparison
+* :mod:`table2`  — Table II Trojan gate counts
+* :mod:`fig3`    — PSA vs external-probe spectrum difference
+* :mod:`fig4`    — per-sensor Trojan spectra (sensor 10 vs sensor 0)
+* :mod:`fig5`    — zero-span time-domain identification
+* :mod:`snr`     — Section VI-B SNR measurements
+* :mod:`robustness` — Section VI-C voltage/temperature sweeps
+* :mod:`mttd`    — Section VI-D run-time detection latency
+* :mod:`cost`    — Section V-B implementation cost
+* :mod:`ablations` — design-choice sweeps beyond the paper
+"""
+
+from .context import ExperimentContext, default_context
+
+__all__ = ["ExperimentContext", "default_context"]

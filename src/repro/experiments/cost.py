@@ -1,0 +1,52 @@
+"""Section V-B: implementation cost of the PSA."""
+
+from __future__ import annotations
+
+from ..core.cost import ImplementationCost, implementation_cost
+from .reporting import format_table
+
+#: Paper figures for side-by-side reporting.
+PAPER_COST = {
+    "tgate_resistance_ohm": 34.0,
+    "area_overhead_fraction": 0.05,
+    "routing_capacity_fraction": 0.0625,
+    "single_coil_routing_fraction": 1.0,
+}
+
+
+def run_cost() -> ImplementationCost:
+    """Compute the Section V-B figures from the layout model."""
+    return implementation_cost()
+
+
+def format_cost(cost: ImplementationCost) -> str:
+    """Render the cost comparison."""
+    rows = [
+        (
+            "T-gate on-resistance",
+            f"{cost.tgate_resistance_ohm:.1f} ohm",
+            f"{PAPER_COST['tgate_resistance_ohm']:.0f} ohm",
+        ),
+        (
+            "area overhead",
+            f"{cost.area_overhead_fraction:.2%}",
+            f"{PAPER_COST['area_overhead_fraction']:.0%}",
+        ),
+        (
+            "routing capacity used (PSA)",
+            f"{cost.routing_capacity_fraction:.2%}",
+            f"{PAPER_COST['routing_capacity_fraction']:.2%}",
+        ),
+        (
+            "routing capacity used (single coil)",
+            f"{cost.single_coil_routing_fraction:.0%}",
+            f"{PAPER_COST['single_coil_routing_fraction']:.0%}",
+        ),
+        (
+            "power overhead (leakage / dynamic)",
+            f"{cost.power_overhead_fraction:.2%}",
+            "negligible",
+        ),
+    ]
+    header = "Section V-B — implementation cost\n"
+    return header + format_table(["figure", "measured", "paper"], rows)

@@ -1,0 +1,61 @@
+"""Plain-text rendering of experiment results."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]]
+) -> str:
+    """Render an ASCII table with per-column alignment."""
+    string_rows = [[_cell(value) for value in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in string_rows:
+        for index, value in enumerate(row):
+            widths[index] = max(widths[index], len(value))
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in string_rows:
+        lines.append(
+            "  ".join(value.ljust(widths[i]) for i, value in enumerate(row))
+        )
+    return "\n".join(lines)
+
+
+def format_series(
+    x: Sequence[float], y: Sequence[float], x_label: str, y_label: str,
+    x_scale: float = 1.0, y_format: str = "{:.2f}",
+) -> str:
+    """Render an (x, y) series as two aligned columns."""
+    rows = [
+        (f"{xi * x_scale:.3f}", y_format.format(yi)) for xi, yi in zip(x, y)
+    ]
+    return format_table([x_label, y_label], rows)
+
+
+def sparkline(values: Sequence[float], width: int = 60) -> str:
+    """Compress a series into a one-line unicode sparkline."""
+    glyphs = " .:-=+*#%@"
+    values = list(values)
+    if not values:
+        return ""
+    if len(values) > width:
+        stride = len(values) / width
+        values = [
+            max(values[int(i * stride): max(int((i + 1) * stride), int(i * stride) + 1)])
+            for i in range(width)
+        ]
+    lo, hi = min(values), max(values)
+    span = (hi - lo) or 1.0
+    return "".join(
+        glyphs[int((v - lo) / span * (len(glyphs) - 1))] for v in values
+    )
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)

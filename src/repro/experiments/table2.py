@@ -1,0 +1,33 @@
+"""Table II: Trojan gate counts and percentages."""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..netlist.stats import TrojanGateRow, expected_table, trojan_gate_table
+from .reporting import format_table
+
+
+def run_table2() -> List[TrojanGateRow]:
+    """Compute Table II from the built netlist."""
+    return trojan_gate_table()
+
+
+def format_table2(rows: List[TrojanGateRow]) -> str:
+    """Render Table II next to the paper's values."""
+    paper = {row.circuit: row for row in expected_table()}
+    body = []
+    for row in rows:
+        expected = paper[row.circuit]
+        body.append(
+            (
+                row.circuit,
+                row.n_cells,
+                f"{row.percentage:.2f}",
+                expected.n_cells,
+                f"{expected.percentage:.2f}",
+            )
+        )
+    return format_table(
+        ["circuit", "cells", "%", "paper cells", "paper %"], body
+    )

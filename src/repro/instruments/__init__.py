@@ -1,0 +1,30 @@
+"""Bench and run-time instrumentation models.
+
+* :class:`SpectrumAnalyzer` — sweep mode (DC-120 MHz, 2000 display
+  points, trace averaging) and zero-span mode (time-domain envelope at
+  a tuned frequency), as used in Section VI;
+* :class:`Oscilloscope` / :func:`quantize` — clock-edge triggered
+  capture with ADC quantization;
+* :func:`chirp` — the 70 mV frequency-sweeping source of the
+  Section VI-C current-response experiment;
+* :class:`RascMonitor` — the RASC-style on-board run-time monitor that
+  replaces the bench instruments in deployment and carries the MTTD
+  accounting.
+"""
+
+from .adc import AdcSpec, quantize
+from .oscilloscope import Oscilloscope
+from .spectrum_analyzer import SpectrumAnalyzer, ZeroSpanResult
+from .signal_gen import chirp
+from .rasc import RascMonitor, RascReport
+
+__all__ = [
+    "AdcSpec",
+    "quantize",
+    "Oscilloscope",
+    "SpectrumAnalyzer",
+    "ZeroSpanResult",
+    "chirp",
+    "RascMonitor",
+    "RascReport",
+]

@@ -1,0 +1,44 @@
+"""Analog-to-digital conversion."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import MeasurementError
+
+
+@dataclass(frozen=True)
+class AdcSpec:
+    """Converter parameters.
+
+    Attributes
+    ----------
+    n_bits:
+        Resolution.
+    full_scale:
+        Peak input voltage [V]; the input range is +-full_scale.
+    """
+
+    n_bits: int = 10
+    full_scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 4 <= self.n_bits <= 24:
+            raise MeasurementError(f"implausible ADC resolution {self.n_bits}")
+        if self.full_scale <= 0:
+            raise MeasurementError("full scale must be positive")
+
+    @property
+    def lsb(self) -> float:
+        """Quantization step [V]."""
+        return 2.0 * self.full_scale / (1 << self.n_bits)
+
+
+def quantize(samples: np.ndarray, spec: AdcSpec) -> np.ndarray:
+    """Quantize (and clip) a voltage trace through the converter."""
+    samples = np.asarray(samples, dtype=float)
+    clipped = np.clip(samples, -spec.full_scale, spec.full_scale - spec.lsb)
+    codes = np.round(clipped / spec.lsb)
+    return codes * spec.lsb

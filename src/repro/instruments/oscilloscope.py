@@ -1,0 +1,68 @@
+"""Clock-edge-triggered oscilloscope capture.
+
+Section VI-A: "an oscilloscope or a spectrum analyzer triggered by the
+rising edge of the clock signal captures the amplified PSA output".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import MeasurementError
+from ..traces import Trace
+from .adc import AdcSpec, quantize
+
+
+class Oscilloscope:
+    """Triggered capture with ADC quantization.
+
+    Parameters
+    ----------
+    adc:
+        Converter model.
+    record_length:
+        Samples per captured record (None = full trace).
+    """
+
+    def __init__(self, adc: AdcSpec | None = None, record_length: int | None = None):
+        self.adc = adc or AdcSpec(n_bits=10, full_scale=1.0)
+        self.record_length = record_length
+
+    def capture(self, trace: Trace, trigger_sample: int = 0) -> Trace:
+        """Capture from a trigger point onward, quantized.
+
+        Parameters
+        ----------
+        trace:
+            The analog input.
+        trigger_sample:
+            Sample index of the clock edge to align to.
+        """
+        if not 0 <= trigger_sample < trace.n_samples:
+            raise MeasurementError(
+                f"trigger sample {trigger_sample} outside the trace"
+            )
+        window = trace.samples[trigger_sample:]
+        if self.record_length is not None:
+            if self.record_length < 2:
+                raise MeasurementError("record length must be >= 2")
+            window = window[: self.record_length]
+        if window.size < 2:
+            raise MeasurementError("capture window too short")
+        return Trace(
+            samples=quantize(window, self.adc),
+            fs=trace.fs,
+            label=trace.label,
+            scenario=trace.scenario,
+            meta={**trace.meta, "quantized_bits": self.adc.n_bits},
+        )
+
+    def auto_range(self, trace: Trace, headroom: float = 1.25) -> "Oscilloscope":
+        """Return a scope ranged to the trace's peak (with headroom)."""
+        peak = float(np.max(np.abs(trace.samples)))
+        if peak <= 0:
+            raise MeasurementError("cannot auto-range a null trace")
+        return Oscilloscope(
+            adc=AdcSpec(n_bits=self.adc.n_bits, full_scale=peak * headroom),
+            record_length=self.record_length,
+        )

@@ -1,0 +1,134 @@
+"""RASC-style on-board run-time monitor.
+
+Section II-A: the RASCv2 board replaces the oscilloscope for run-time
+side-channel verification — ADCs sample the sensor output, an FPGA
+processes the traces, and only processed verdicts leave the board
+(which is also why the PSA does not enable remote side-channel attacks:
+raw traces never cross a communication channel).
+
+:class:`RascMonitor` is deliberately decoupled from the analysis
+package: it takes a feature extractor and a streaming detector as
+collaborators, adds the ADC front-end and the per-trace latency budget,
+and reports a timeline suitable for MTTD evaluation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Protocol, Sequence
+
+from ..errors import MeasurementError
+from ..traces import Trace
+from .adc import AdcSpec, quantize
+
+
+class StreamingDetector(Protocol):
+    """Anything with a RuntimeDetector-compatible update method."""
+
+    def update(self, feature_db: float) -> object: ...
+
+
+@dataclass(frozen=True)
+class RascReport:
+    """Timeline of one monitoring session.
+
+    Attributes
+    ----------
+    alarm_index:
+        Trace index of the first alarm (None = silent).
+    alarm_time_s:
+        Wall-clock time of the alarm relative to session start [s].
+    features_db:
+        Feature per processed trace.
+    trace_period_s:
+        Capture + processing period per trace [s].
+    """
+
+    alarm_index: int | None
+    alarm_time_s: float | None
+    features_db: List[float]
+    trace_period_s: float
+
+
+class RascMonitor:
+    """ADC + feature + detector, with latency accounting.
+
+    Parameters
+    ----------
+    feature_fn:
+        Maps a quantized trace to the detection feature [dB].
+    detector:
+        Streaming detector; its update() result must expose ``alarm``.
+    adc:
+        Sampling front-end.
+    processing_latency_s:
+        On-board processing time per trace [s].
+    auto_range:
+        Rescale the converter range to each trace's peak (with 25 %
+        headroom) before sampling — the front-end's programmable-gain
+        attenuator.  Without it, a strong Trojan like the T4 power
+        virus clips the converter and its signature vanishes.
+    """
+
+    def __init__(
+        self,
+        feature_fn: Callable[[Trace], float],
+        detector: StreamingDetector,
+        adc: AdcSpec | None = None,
+        processing_latency_s: float = 0.9e-3,
+        auto_range: bool = True,
+    ):
+        if processing_latency_s < 0:
+            raise MeasurementError("processing latency must be >= 0")
+        self.feature_fn = feature_fn
+        self.detector = detector
+        # The converter must swallow the 50 dB-amplified sensor output
+        # without clipping: +-10 V range at 12 bits keeps quantization
+        # ~5 mV, far below the sideband features of interest.
+        self.adc = adc or AdcSpec(n_bits=12, full_scale=10.0)
+        self.processing_latency_s = processing_latency_s
+        self.auto_range = auto_range
+
+    def _spec_for(self, trace: Trace) -> AdcSpec:
+        if not self.auto_range:
+            return self.adc
+        import numpy as np
+
+        peak = float(np.max(np.abs(trace.samples)))
+        if peak <= 0.0:
+            return self.adc
+        return AdcSpec(n_bits=self.adc.n_bits, full_scale=1.25 * peak)
+
+    def process(self, trace: Trace) -> tuple[float, bool]:
+        """Digitize and score one trace; returns (feature, alarm)."""
+        digitized = Trace(
+            samples=quantize(trace.samples, self._spec_for(trace)),
+            fs=trace.fs,
+            label=trace.label,
+            scenario=trace.scenario,
+            meta=trace.meta,
+        )
+        feature = self.feature_fn(digitized)
+        decision = self.detector.update(feature)
+        return feature, bool(getattr(decision, "alarm", False))
+
+    def monitor(self, traces: Sequence[Trace]) -> RascReport:
+        """Stream a trace sequence until the first alarm (or the end)."""
+        if not traces:
+            raise MeasurementError("no traces to monitor")
+        period = traces[0].duration + self.processing_latency_s
+        features: List[float] = []
+        alarm_index = None
+        for index, trace in enumerate(traces):
+            feature, alarm = self.process(trace)
+            features.append(feature)
+            if alarm:
+                alarm_index = index
+                break
+        alarm_time = None if alarm_index is None else (alarm_index + 1) * period
+        return RascReport(
+            alarm_index=alarm_index,
+            alarm_time_s=alarm_time,
+            features_db=features,
+            trace_period_s=period,
+        )

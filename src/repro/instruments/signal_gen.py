@@ -1,0 +1,52 @@
+"""Stimulus generation for bench experiments.
+
+Section VI-C injects "a 70 mV frequency sweeping chirp signal" into one
+PSA sensor to measure its current response across supply voltages.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import MeasurementError
+from ..traces import Trace
+
+
+def chirp(
+    f_start: float,
+    f_stop: float,
+    duration: float,
+    fs: float,
+    amplitude: float = 70e-3,
+) -> Trace:
+    """Linear chirp trace.
+
+    Parameters
+    ----------
+    f_start, f_stop:
+        Sweep endpoints [Hz].
+    duration:
+        Sweep length [s].
+    fs:
+        Sampling rate [Hz].
+    amplitude:
+        Peak amplitude [V] (paper: 70 mV).
+    """
+    if f_start < 0 or f_stop <= f_start:
+        raise MeasurementError("need 0 <= f_start < f_stop")
+    if f_stop >= fs / 2:
+        raise MeasurementError("f_stop must sit below Nyquist")
+    if duration <= 0:
+        raise MeasurementError("duration must be positive")
+    n = int(round(duration * fs))
+    if n < 16:
+        raise MeasurementError("chirp too short for its sampling rate")
+    t = np.arange(n) / fs
+    sweep_rate = (f_stop - f_start) / duration
+    phase = 2.0 * np.pi * (f_start * t + 0.5 * sweep_rate * t * t)
+    return Trace(
+        samples=amplitude * np.sin(phase),
+        fs=fs,
+        label="chirp",
+        meta={"f_start": f_start, "f_stop": f_stop, "amplitude": amplitude},
+    )

@@ -1,0 +1,92 @@
+"""Wires and logic values for the event-driven simulator."""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..errors import LogicSimulationError
+
+#: Logic low.
+LOW = 0
+#: Logic high.
+HIGH = 1
+#: Unresolved value (before the first assignment reaches a wire).
+UNKNOWN = -1
+
+_VALID_DRIVES = (LOW, HIGH)
+
+
+class Wire:
+    """A single-bit net.
+
+    Attributes
+    ----------
+    name:
+        Diagnostic name.
+    value:
+        Current logic value (``LOW``, ``HIGH`` or ``UNKNOWN``).
+    fanout:
+        Gate indices (into the simulator's gate list) re-evaluated when
+        this wire changes.
+    """
+
+    __slots__ = ("name", "value", "fanout")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = UNKNOWN
+        self.fanout: List[int] = []
+
+    def drive(self, value: int) -> bool:
+        """Set the wire value; return True if it changed.
+
+        Raises
+        ------
+        LogicSimulationError
+            If the value is not LOW/HIGH.
+        """
+        if value not in _VALID_DRIVES:
+            raise LogicSimulationError(
+                f"wire {self.name!r} driven with invalid value {value!r}"
+            )
+        changed = value != self.value
+        self.value = value
+        return changed
+
+    def __repr__(self) -> str:
+        symbol = {LOW: "0", HIGH: "1", UNKNOWN: "x"}[self.value]
+        return f"Wire({self.name}={symbol})"
+
+
+def bus_value(wires: List[Wire]) -> int:
+    """Interpret ``wires`` (LSB first) as an unsigned integer.
+
+    Raises
+    ------
+    LogicSimulationError
+        If any bit is still UNKNOWN.
+    """
+    value = 0
+    for bit, wire in enumerate(wires):
+        if wire.value == UNKNOWN:
+            raise LogicSimulationError(
+                f"bus bit {wire.name!r} is unresolved (x)"
+            )
+        value |= wire.value << bit
+    return value
+
+
+def drive_bus(wires: List[Wire], value: int) -> List[Wire]:
+    """Drive an unsigned integer onto ``wires`` (LSB first).
+
+    Returns the wires whose value changed.
+    """
+    if value < 0 or value >= (1 << len(wires)):
+        raise LogicSimulationError(
+            f"value {value} does not fit in {len(wires)} bits"
+        )
+    changed = []
+    for bit, wire in enumerate(wires):
+        if wire.drive((value >> bit) & 1):
+            changed.append(wire)
+    return changed

@@ -1,0 +1,38 @@
+"""Gate-inventory netlist substrate.
+
+Models the test chip's standard-cell content at the inventory level: a
+65nm-style cell library with per-cell area / switching-capacitance /
+leakage figures, a :class:`Netlist` container, and builders that
+reproduce the exact cell budget of the paper's Table II (28,806 cells
+overall; T1 1881, T2 2132, T3 329, T4 2181).
+
+Connectivity is modeled where the paper describes it at the gate level
+(trigger circuits, PSA decoder) by :mod:`repro.logic`; the inventory
+level is what the EM activity model needs (how many cells of which kind
+toggle where).
+"""
+
+from .cells import CELL_LIBRARY, StandardCell
+from .netlist import Instance, Netlist
+from .builder import (
+    MAIN_MODULE_RECIPES,
+    TROJAN_RECIPES,
+    build_main_circuit,
+    build_test_chip_netlist,
+    build_trojan,
+)
+from .stats import TrojanGateRow, trojan_gate_table
+
+__all__ = [
+    "CELL_LIBRARY",
+    "StandardCell",
+    "Instance",
+    "Netlist",
+    "MAIN_MODULE_RECIPES",
+    "TROJAN_RECIPES",
+    "build_main_circuit",
+    "build_test_chip_netlist",
+    "build_trojan",
+    "TrojanGateRow",
+    "trojan_gate_table",
+]

@@ -1,0 +1,239 @@
+"""Builders reproducing the paper's cell budget (Table II).
+
+Table II of the paper:
+
+    =====================  =======  ====  ====  ===  ====
+    Circuit                Overall  T1    T2    T3   T4
+    Standard Cell Number   28806    1881  2132  329  2181
+    Percentage             100      6.52  7.40  1.14 7.57
+    =====================  =======  ====  ====  ===  ====
+
+The main circuit therefore holds 28806 - 6523 = 22283 cells, split here
+across the blocks named in Figure 2 (AES core, UART FIFO, PSA control,
+clock tree, IO ring).  Each module recipe is a cell-kind mix scaled to
+an exact total, so the assembled netlist reproduces Table II cell for
+cell.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping
+
+from ..errors import NetlistError
+from .netlist import Netlist
+
+#: Exact cell totals from Table II.
+TABLE2_OVERALL = 28806
+TABLE2_TROJANS: Dict[str, int] = {"T1": 1881, "T2": 2132, "T3": 329, "T4": 2181}
+MAIN_TOTAL = TABLE2_OVERALL - sum(TABLE2_TROJANS.values())  # 22283
+
+
+def _scale_mix(fractions: Mapping[str, float], total: int) -> Dict[str, int]:
+    """Scale a cell-kind fraction mix to an exact integer total.
+
+    Largest-remainder rounding: floors everything then hands leftover
+    cells to the kinds with the largest fractional parts, so the result
+    sums to ``total`` exactly and is deterministic.
+    """
+    if total < 0:
+        raise NetlistError(f"cannot scale a mix to negative total {total}")
+    weight_sum = float(sum(fractions.values()))
+    if weight_sum <= 0:
+        raise NetlistError("mix weights must sum to a positive value")
+    raw = {
+        name: total * weight / weight_sum for name, weight in fractions.items()
+    }
+    counts = {name: int(value) for name, value in raw.items()}
+    leftover = total - sum(counts.values())
+    remainders = sorted(
+        fractions, key=lambda name: (raw[name] - counts[name], name), reverse=True
+    )
+    for name in remainders[:leftover]:
+        counts[name] += 1
+    return counts
+
+
+# ---------------------------------------------------------------------------
+# Main circuit: an AES-128-LUT core (Morioka/Satoh LUT S-box architecture)
+# with an RS232 UART, as in Section V-A.
+# ---------------------------------------------------------------------------
+
+#: Per-module totals for the main circuit.  Sum = 22283 (checked below).
+MAIN_MODULE_TOTALS: Dict[str, int] = {
+    "aes_sbox_bank": 8800,   # 16 LUT S-boxes for SubBytes
+    "aes_key_expand": 3400,  # key schedule incl. 4 S-boxes
+    "aes_mixcolumns": 2100,  # GF(2^8) xtime/XOR network
+    "aes_addroundkey": 1408,  # 128 XOR2 + buffering
+    "aes_state_regs": 1500,  # 128-bit state registers + input muxes
+    "aes_round_ctrl": 350,   # round counter / FSM
+    "uart_fifo": 2600,       # RX/TX FIFO registers
+    "uart_core": 900,        # baud generator, shifters, framing
+    "clock_tree": 600,       # clock distribution buffers
+    "psa_control": 425,      # PSA_sel decode + switch-control registers
+    "io_ring": 200,          # pad-adjacent logic
+}
+
+#: Cell-kind mixes per main-circuit module (weights, not counts).
+MAIN_MODULE_RECIPES: Dict[str, Dict[str, float]] = {
+    "aes_sbox_bank": {
+        "NAND2_X1": 0.34,
+        "NOR2_X1": 0.18,
+        "INV_X1": 0.22,
+        "NAND3_X1": 0.10,
+        "AOI21_X1": 0.08,
+        "OAI21_X1": 0.08,
+    },
+    "aes_key_expand": {
+        "XOR2_X1": 0.30,
+        "DFF_X1": 0.28,
+        "NAND2_X1": 0.18,
+        "INV_X1": 0.12,
+        "MUX2_X1": 0.12,
+    },
+    "aes_mixcolumns": {
+        "XOR2_X1": 0.58,
+        "XNOR2_X1": 0.12,
+        "INV_X1": 0.14,
+        "NAND2_X1": 0.16,
+    },
+    "aes_addroundkey": {
+        "XOR2_X1": 0.91,
+        "BUF_X2": 0.09,
+    },
+    "aes_state_regs": {
+        "DFF_X1": 0.52,
+        "MUX2_X1": 0.34,
+        "BUF_X2": 0.14,
+    },
+    "aes_round_ctrl": {
+        "DFFR_X1": 0.30,
+        "NAND2_X1": 0.25,
+        "INV_X1": 0.25,
+        "NOR2_X1": 0.20,
+    },
+    "uart_fifo": {
+        "DFF_X1": 0.60,
+        "MUX2_X1": 0.20,
+        "NAND2_X1": 0.12,
+        "INV_X1": 0.08,
+    },
+    "uart_core": {
+        "DFFR_X1": 0.35,
+        "NAND2_X1": 0.20,
+        "INV_X1": 0.20,
+        "XOR2_X1": 0.10,
+        "MUX2_X1": 0.15,
+    },
+    "clock_tree": {
+        "CLKBUF_X4": 0.85,
+        "INV_X4": 0.15,
+    },
+    "psa_control": {
+        "DFF_X1": 0.45,
+        "AND2_X1": 0.25,
+        "INV_X1": 0.20,
+        "BUF_X2": 0.10,
+    },
+    "io_ring": {
+        "BUF_X2": 0.55,
+        "INV_X4": 0.45,
+    },
+}
+
+# ---------------------------------------------------------------------------
+# Trojans (Section V-A, modified from Trust-Hub):
+#   T1 amplitude-modulation radio carrier (750 kHz) with a 21-bit
+#      counter trigger;
+#   T2 chain of inverters on a key wire (leakage amplifier), plaintext
+#      prefix trigger;
+#   T3 CDMA channel key leaker (PN-code spreading), small;
+#   T4 denial-of-service heater (ring oscillators).
+# ---------------------------------------------------------------------------
+
+TROJAN_RECIPES: Dict[str, Dict[str, float]] = {
+    "T1": {
+        "INV_X4": 0.40,   # carrier oscillator / driver chain
+        "DFF_X1": 0.20,   # 21-bit trigger counter + modulator state
+        "NAND2_X1": 0.15,
+        "XOR2_X1": 0.10,
+        "AND2_X1": 0.08,
+        "BUF_X2": 0.07,
+    },
+    "T2": {
+        "INV_X4": 0.88,   # the key-wire inverter chain itself
+        "XNOR2_X1": 0.06,  # plaintext comparator
+        "AND2_X1": 0.04,
+        "DFF_X1": 0.02,
+    },
+    "T3": {
+        "DFF_X1": 0.25,   # PN-sequence LFSR + shift register
+        "XOR2_X1": 0.30,  # spreading XORs
+        "NAND2_X1": 0.20,
+        "INV_X1": 0.15,
+        "MUX2_X1": 0.10,
+    },
+    "T4": {
+        "INV_X4": 0.70,   # ring-oscillator heater banks
+        "NAND2_X1": 0.15,  # enable gating
+        "BUF_X2": 0.10,
+        "DFF_X1": 0.05,
+    },
+}
+
+
+def build_main_circuit(name: str = "aes128_main") -> Netlist:
+    """Build the Trojan-free main circuit netlist (22,283 cells)."""
+    netlist = Netlist(name)
+    for module, total in MAIN_MODULE_TOTALS.items():
+        mix = _scale_mix(MAIN_MODULE_RECIPES[module], total)
+        netlist.add_bulk(module, mix)
+    if len(netlist) != MAIN_TOTAL:
+        raise NetlistError(
+            f"main circuit built {len(netlist)} cells, expected {MAIN_TOTAL}"
+        )
+    return netlist
+
+
+def build_trojan(trojan: str) -> Netlist:
+    """Build one Trojan netlist with its exact Table II cell count."""
+    if trojan not in TROJAN_RECIPES:
+        raise NetlistError(
+            f"unknown Trojan {trojan!r}; expected one of "
+            f"{sorted(TROJAN_RECIPES)}"
+        )
+    total = TABLE2_TROJANS[trojan]
+    netlist = Netlist(trojan)
+    mix = _scale_mix(TROJAN_RECIPES[trojan], total)
+    netlist.add_bulk(trojan, mix)
+    if len(netlist) != total:
+        raise NetlistError(
+            f"{trojan} built {len(netlist)} cells, expected {total}"
+        )
+    return netlist
+
+
+def build_test_chip_netlist(name: str = "aes128_testchip") -> Netlist:
+    """Build the full test chip: main circuit + all four Trojans.
+
+    The result reproduces Table II exactly: 28,806 standard cells.
+    """
+    netlist = build_main_circuit(name)
+    for trojan in sorted(TROJAN_RECIPES):
+        netlist.merge(build_trojan(trojan))
+    if len(netlist) != TABLE2_OVERALL:
+        raise NetlistError(
+            f"test chip built {len(netlist)} cells, expected {TABLE2_OVERALL}"
+        )
+    return netlist
+
+
+def _check_totals() -> None:
+    """Import-time consistency check of the module budget."""
+    main_sum = sum(MAIN_MODULE_TOTALS.values())
+    if main_sum != MAIN_TOTAL:
+        raise NetlistError(
+            f"main module totals sum to {main_sum}, expected {MAIN_TOTAL}"
+        )
+
+
+_check_totals()

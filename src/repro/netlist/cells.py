@@ -1,0 +1,112 @@
+"""A compact 65nm-style standard-cell library.
+
+Electrical figures are representative of a commercial 65nm LP library at
+nominal corner (1.2 V, 25 C): cell areas of a few um^2, switched
+capacitance of a few fF per output transition, and sub-nA leakage per
+cell.  Absolute accuracy is not required — the EM model only needs
+plausible relative weights between cell kinds — but the values are kept
+in a physically sensible range so derived quantities (current per
+toggle, module leakage) are meaningful.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..errors import NetlistError
+
+
+@dataclass(frozen=True)
+class StandardCell:
+    """One library cell.
+
+    Attributes
+    ----------
+    name:
+        Library name, e.g. ``"NAND2_X1"``.
+    n_transistors:
+        Transistor count (for area sanity checks).
+    area_um2:
+        Placed area [um^2].
+    switch_cap_ff:
+        Effective switched capacitance per output toggle [fF]
+        (internal + typical output load).
+    leakage_na:
+        Static leakage at nominal corner [nA].
+    is_sequential:
+        True for flip-flops/latches (they toggle on every active clock
+        edge they capture, and their clock pins load the clock tree).
+    """
+
+    name: str
+    n_transistors: int
+    area_um2: float
+    switch_cap_ff: float
+    leakage_na: float
+    is_sequential: bool = False
+
+    def __post_init__(self) -> None:
+        if self.n_transistors < 2:
+            raise NetlistError(f"cell {self.name}: implausible transistor count")
+        if self.area_um2 <= 0 or self.switch_cap_ff <= 0 or self.leakage_na < 0:
+            raise NetlistError(f"cell {self.name}: non-physical parameters")
+
+
+def _cell(
+    name: str,
+    n_transistors: int,
+    area_um2: float,
+    switch_cap_ff: float,
+    leakage_na: float,
+    is_sequential: bool = False,
+) -> StandardCell:
+    return StandardCell(
+        name=name,
+        n_transistors=n_transistors,
+        area_um2=area_um2,
+        switch_cap_ff=switch_cap_ff,
+        leakage_na=leakage_na,
+        is_sequential=is_sequential,
+    )
+
+
+#: The library, keyed by cell name.
+CELL_LIBRARY: Dict[str, StandardCell] = {
+    cell.name: cell
+    for cell in [
+        _cell("INV_X1", 2, 1.44, 1.4, 0.25),
+        _cell("INV_X4", 8, 2.88, 3.2, 0.9),
+        _cell("BUF_X2", 4, 2.16, 2.4, 0.5),
+        _cell("NAND2_X1", 4, 2.16, 2.0, 0.4),
+        _cell("NAND3_X1", 6, 2.88, 2.6, 0.55),
+        _cell("NOR2_X1", 4, 2.16, 2.1, 0.45),
+        _cell("AND2_X1", 6, 2.52, 2.4, 0.5),
+        _cell("OR2_X1", 6, 2.52, 2.5, 0.5),
+        _cell("XOR2_X1", 10, 4.32, 3.6, 0.8),
+        _cell("XNOR2_X1", 10, 4.32, 3.6, 0.8),
+        _cell("AOI21_X1", 6, 2.88, 2.7, 0.55),
+        _cell("OAI21_X1", 6, 2.88, 2.7, 0.55),
+        _cell("MUX2_X1", 12, 4.68, 3.4, 0.85),
+        _cell("DFF_X1", 24, 7.92, 6.5, 1.6, is_sequential=True),
+        _cell("DFFR_X1", 28, 9.00, 7.0, 1.9, is_sequential=True),
+        _cell("CLKBUF_X4", 8, 3.60, 4.5, 1.1),
+        # The custom T-gate cell of Figure 1c: 3.2 um x 4 um layout with
+        # two parallel PMOS/NMOS pairs of 10 fingers each.
+        _cell("TGATE_PSA", 40, 12.80, 0.9, 3.2),
+    ]
+}
+
+
+def get_cell(name: str) -> StandardCell:
+    """Look up a cell by name.
+
+    Raises
+    ------
+    NetlistError
+        If the library has no such cell.
+    """
+    try:
+        return CELL_LIBRARY[name]
+    except KeyError:
+        raise NetlistError(f"unknown cell {name!r}") from None

@@ -1,0 +1,59 @@
+"""Table II statistics: Trojan gate counts and area percentages."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from .builder import TABLE2_OVERALL, TABLE2_TROJANS, build_test_chip_netlist
+from .netlist import Netlist
+
+#: Trojan module names in paper order.
+TROJAN_ORDER = ("T1", "T2", "T3", "T4")
+
+
+@dataclass(frozen=True)
+class TrojanGateRow:
+    """One column of Table II.
+
+    Attributes
+    ----------
+    circuit:
+        ``"Overall"`` or a Trojan name.
+    n_cells:
+        Standard-cell count.
+    percentage:
+        Percentage of the overall cell count (100.0 for "Overall").
+    """
+
+    circuit: str
+    n_cells: int
+    percentage: float
+
+
+def trojan_gate_table(netlist: Netlist | None = None) -> List[TrojanGateRow]:
+    """Compute Table II from a netlist (builds the test chip by default).
+
+    Returns rows in paper order: Overall, T1, T2, T3, T4.
+    """
+    if netlist is None:
+        netlist = build_test_chip_netlist()
+    overall = netlist.cell_count()
+    rows = [TrojanGateRow("Overall", overall, 100.0)]
+    for trojan in TROJAN_ORDER:
+        count = netlist.cell_count(trojan)
+        rows.append(
+            TrojanGateRow(trojan, count, 100.0 * count / overall)
+        )
+    return rows
+
+
+def expected_table() -> List[TrojanGateRow]:
+    """Table II exactly as printed in the paper."""
+    rows = [TrojanGateRow("Overall", TABLE2_OVERALL, 100.0)]
+    for trojan in TROJAN_ORDER:
+        count = TABLE2_TROJANS[trojan]
+        rows.append(
+            TrojanGateRow(trojan, count, 100.0 * count / TABLE2_OVERALL)
+        )
+    return rows

@@ -1,0 +1,85 @@
+"""Trace archive I/O: save/load trace collections as ``.npz`` files.
+
+The archive layout is flat and self-describing: each trace stores its
+sample array plus a JSON metadata blob, so archives survive library
+version changes and can be inspected with plain numpy.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from .errors import TraceIOError
+from .traces import Trace
+
+_FORMAT_VERSION = 1
+
+
+def save_traces(path: "str | Path", traces: Sequence[Trace]) -> Path:
+    """Write traces to an ``.npz`` archive; returns the path written."""
+    if not traces:
+        raise TraceIOError("refusing to write an empty trace archive")
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(".npz")
+    arrays: Dict[str, np.ndarray] = {}
+    index: List[Dict[str, object]] = []
+    for number, trace in enumerate(traces):
+        key = f"trace_{number:05d}"
+        arrays[key] = trace.samples
+        meta = dict(trace.meta)
+        try:
+            json.dumps(meta)
+        except TypeError as exc:
+            raise TraceIOError(
+                f"trace {number} metadata is not JSON-serializable: {exc}"
+            ) from exc
+        index.append(
+            {
+                "key": key,
+                "fs": trace.fs,
+                "label": trace.label,
+                "scenario": trace.scenario,
+                "meta": meta,
+            }
+        )
+    header = {"version": _FORMAT_VERSION, "traces": index}
+    arrays["__header__"] = np.frombuffer(
+        json.dumps(header).encode("utf-8"), dtype=np.uint8
+    )
+    np.savez_compressed(path, **arrays)
+    return path
+
+
+def load_traces(path: "str | Path") -> List[Trace]:
+    """Read back an archive written by :func:`save_traces`."""
+    path = Path(path)
+    if not path.exists():
+        raise TraceIOError(f"no trace archive at {path}")
+    with np.load(path, allow_pickle=False) as archive:
+        if "__header__" not in archive:
+            raise TraceIOError(f"{path} is not a repro trace archive")
+        header = json.loads(bytes(archive["__header__"]).decode("utf-8"))
+        if header.get("version") != _FORMAT_VERSION:
+            raise TraceIOError(
+                f"unsupported archive version {header.get('version')!r}"
+            )
+        traces = []
+        for entry in header["traces"]:
+            key = entry["key"]
+            if key not in archive:
+                raise TraceIOError(f"archive missing array {key!r}")
+            traces.append(
+                Trace(
+                    samples=archive[key],
+                    fs=float(entry["fs"]),
+                    label=str(entry["label"]),
+                    scenario=str(entry["scenario"]),
+                    meta=dict(entry["meta"]),
+                )
+            )
+    return traces

@@ -1,0 +1,35 @@
+"""Hardware Trojan models (Section V-A, modified from Trust-Hub).
+
+Four Trojans with distinct triggers and payloads:
+
+* :class:`T1AmCarrier` — amplitude-modulation radio carrier at 750 kHz,
+  triggered periodically when a 21-bit counter reaches ``21'h1FFFFF``;
+* :class:`T2KeyLeakInverters` — a chain of inverters attached to a key
+  wire to amplify its leakage, triggered when the plaintext prefix is
+  ``0xAAAA``;
+* :class:`T3CdmaLeaker` — a CDMA channel Trojan spreading key bits with
+  a PN code (always-on, external enable in experiments);
+* :class:`T4DosHeater` — a denial-of-service heater bank that elevates
+  power consumption (always-on, external enable in experiments).
+"""
+
+from .base import CycleContext, Trojan, block_pattern
+from .t1_am_carrier import T1AmCarrier
+from .t2_leakage import T2KeyLeakInverters
+from .t3_cdma import T3CdmaLeaker
+from .t4_dos import T4DosHeater
+from .catalog import TROJAN_CATALOG, TrojanInfo, make_trojan, standard_trojans
+
+__all__ = [
+    "CycleContext",
+    "Trojan",
+    "block_pattern",
+    "T1AmCarrier",
+    "T2KeyLeakInverters",
+    "T3CdmaLeaker",
+    "T4DosHeater",
+    "TROJAN_CATALOG",
+    "TrojanInfo",
+    "make_trojan",
+    "standard_trojans",
+]

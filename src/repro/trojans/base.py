@@ -1,0 +1,171 @@
+"""Common Trojan machinery.
+
+Modeling rationale
+------------------
+All four Trojans tap AES-core signals (key wires, state bits, round
+strobes), so while active their switching is synchronous with the AES
+block structure: bursts aligned to the rounds of each 11-cycle block.
+That block-synchronous burst pattern is what amplitude-modulates the
+clock-harmonic comb and produces the sideband components the paper
+observes at 48 MHz and 84 MHz (33 MHz + 15 MHz and 99 MHz - 15 MHz,
+where 15 MHz is the 5th harmonic of the 3 MHz block rate).
+
+On top of that shared round-synchronous pattern, each Trojan imposes its
+own slower envelope — a 750 kHz carrier for T1, plaintext-gated blocks
+for T2, a PN chip sequence for T3, a quasi-constant elevated level for
+T4 — which is exactly what the zero-span identification step recovers
+(Figure 5).
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Optional
+
+from ..errors import WorkloadError
+from ..netlist.builder import TABLE2_TROJANS
+
+#: Harmonic of the block rate that carries the Trojan sidebands
+#: (5 * 3 MHz = 15 MHz -> sidebands at 48 MHz and 84 MHz).
+SIDEBAND_BLOCK_HARMONIC = 5
+
+
+@dataclass(frozen=True)
+class CycleContext:
+    """Everything a Trojan may observe in one clock cycle.
+
+    Attributes
+    ----------
+    cycle:
+        Absolute cycle index within the simulation.
+    block:
+        AES block index being processed.
+    phase:
+        Cycle position within the block (0 = load cycle).
+    block_cycles:
+        Cycles per block (11).
+    time_s:
+        Absolute time of the cycle's rising edge [s].
+    plaintext:
+        The 16-byte plaintext of the current block.
+    key_hd:
+        Hamming distance between the round keys active in this cycle
+        and the previous one (0..128).
+    aes_norm:
+        Main-circuit activity this cycle, normalized to its trace
+        maximum (0..1); used for supply-droop coupling.
+    """
+
+    cycle: int
+    block: int
+    phase: int
+    block_cycles: int
+    time_s: float
+    plaintext: bytes
+    key_hd: int
+    aes_norm: float
+
+
+def block_pattern(phase: int, block_cycles: int) -> float:
+    """Round-synchronous burst weight for a cycle within a block.
+
+    A raised cosine at the :data:`SIDEBAND_BLOCK_HARMONIC`-th harmonic
+    of the block rate; its discrete spectrum concentrates the Trojan
+    energy at 15 MHz offsets from the clock harmonics.
+    """
+    angle = 2.0 * math.pi * SIDEBAND_BLOCK_HARMONIC * phase / block_cycles
+    return 0.5 * (1.0 + math.cos(angle))
+
+
+class Trojan(ABC):
+    """Base class for the four hardware Trojans.
+
+    Parameters
+    ----------
+    enabled:
+        External enable (the paper adds external enable signals to the
+        always-on Trojans T3/T4 for experiments; T1/T2 carry their own
+        trigger logic and ignore late enables only in the sense that
+        their trigger condition must also hold).
+
+    Notes
+    -----
+    Subclasses implement :meth:`is_active` (trigger state) and
+    :meth:`payload_toggles` (cell toggles while active).  The small
+    always-present trigger-circuit activity is modeled by
+    :meth:`trigger_toggles` so an *inactive* Trojan is almost — but not
+    exactly — invisible, as in the paper.
+    """
+
+    #: Trojan name; must match a Table II column.
+    name: str = ""
+
+    #: Which clock edge launches the payload's switching: "falling"
+    #: (opposite phase to the main logic — typical for trigger-gated
+    #: payloads strobing off the inverted clock) or "rising"
+    #: (synchronous with the main logic).
+    clock_phase: str = "falling"
+
+    def __init__(self, enabled: bool = False):
+        if self.name not in TABLE2_TROJANS:
+            raise WorkloadError(
+                f"Trojan class {type(self).__name__} has invalid name "
+                f"{self.name!r}"
+            )
+        self.enabled = enabled
+        self.n_cells = TABLE2_TROJANS[self.name]
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def reset(self) -> None:
+        """Reset internal trigger state (counters, match latches)."""
+
+    # -- per-cycle behaviour ---------------------------------------------------
+
+    @abstractmethod
+    def is_active(self, ctx: CycleContext) -> bool:
+        """Whether the payload is switching in this cycle."""
+
+    @abstractmethod
+    def payload_toggles(self, ctx: CycleContext) -> float:
+        """Payload cell toggles in this cycle (given the Trojan is active)."""
+
+    def trigger_toggles(self, ctx: CycleContext) -> float:
+        """Trigger-circuit toggles in this cycle (always present).
+
+        Default: a few cells' worth of counter/comparator activity —
+        negligible against the 22k-cell main circuit, which is why an
+        inactive Trojan's spectrum matches the Trojan-free one.
+        """
+        return 2.0
+
+    def toggles(self, ctx: CycleContext) -> float:
+        """Total Trojan toggles this cycle."""
+        total = self.trigger_toggles(ctx)
+        if self.is_active(ctx):
+            total += self.payload_toggles(ctx)
+        return total
+
+    # -- metadata ------------------------------------------------------------
+
+    @property
+    def always_on(self) -> bool:
+        """True for Trojans without an internal trigger (T3, T4)."""
+        return False
+
+    def __repr__(self) -> str:
+        state = "enabled" if self.enabled else "disabled"
+        return f"{type(self).__name__}(name={self.name}, {state})"
+
+
+class ExternallyEnabledTrojan(Trojan):
+    """Always-on Trojan gated only by the external enable signal."""
+
+    @property
+    def always_on(self) -> bool:
+        return True
+
+    def is_active(self, ctx: CycleContext) -> bool:
+        return self.enabled

@@ -1,0 +1,110 @@
+"""Trust-Hub-style catalog of the four test-chip Trojans."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+from ..errors import WorkloadError
+from .base import Trojan
+from .t1_am_carrier import T1AmCarrier
+from .t2_leakage import T2KeyLeakInverters
+from .t3_cdma import T3CdmaLeaker
+from .t4_dos import T4DosHeater
+
+
+@dataclass(frozen=True)
+class TrojanInfo:
+    """Catalog entry describing one Trojan.
+
+    Attributes
+    ----------
+    name:
+        T1..T4.
+    trust_hub_family:
+        The Trust-Hub benchmark family the paper's design is modified
+        from.
+    description:
+        Payload summary.
+    trigger:
+        Trigger condition summary.
+    always_on:
+        True when the silicon payload runs whenever enabled (T3, T4).
+    n_cells:
+        Standard-cell count (Table II).
+    """
+
+    name: str
+    trust_hub_family: str
+    description: str
+    trigger: str
+    always_on: bool
+    n_cells: int
+
+
+#: The catalog, in paper order.
+TROJAN_CATALOG: Dict[str, TrojanInfo] = {
+    "T1": TrojanInfo(
+        name="T1",
+        trust_hub_family="AES-T1800 (RF leak)",
+        description="Amplitude-modulation radio carrier emitting at 750 kHz",
+        trigger="21-bit counter reaches 21'h1FFFFF (period ~63.6 ms @ 33 MHz)",
+        always_on=False,
+        n_cells=1881,
+    ),
+    "T2": TrojanInfo(
+        name="T2",
+        trust_hub_family="AES-T1600 (leakage amplifier)",
+        description="Inverter chain on a key wire amplifying leakage current",
+        trigger="first two plaintext bytes equal 0xAAAA",
+        always_on=False,
+        n_cells=2132,
+    ),
+    "T3": TrojanInfo(
+        name="T3",
+        trust_hub_family="AES-T700 (CDMA leak)",
+        description="CDMA channel leaking key bits over a PN code",
+        trigger="always-on (external enable in experiments)",
+        always_on=True,
+        n_cells=329,
+    ),
+    "T4": TrojanInfo(
+        name="T4",
+        trust_hub_family="AES-T1400 (DoS)",
+        description="Ring-oscillator heater elevating power consumption",
+        trigger="always-on (external enable in experiments)",
+        always_on=True,
+        n_cells=2181,
+    ),
+}
+
+_FACTORIES: Dict[str, Callable[..., Trojan]] = {
+    "T1": T1AmCarrier,
+    "T2": T2KeyLeakInverters,
+    "T3": T3CdmaLeaker,
+    "T4": T4DosHeater,
+}
+
+
+def make_trojan(name: str, **kwargs) -> Trojan:
+    """Instantiate a Trojan by catalog name."""
+    if name not in _FACTORIES:
+        raise WorkloadError(
+            f"unknown Trojan {name!r}; expected one of {sorted(_FACTORIES)}"
+        )
+    return _FACTORIES[name](**kwargs)
+
+
+def standard_trojans(key: bytes = b"\x00" * 16) -> List[Trojan]:
+    """All four Trojans in their as-fabricated (inactive) state.
+
+    T1's counter starts at zero (it will not fire inside a short
+    trace); T2 is armed but sees no matching plaintext unless the
+    workload supplies it; T3/T4 external enables are off.
+    """
+    return [
+        T1AmCarrier(enabled=True, start_count=0),
+        T2KeyLeakInverters(enabled=True),
+        T3CdmaLeaker(enabled=False, key=key),
+        T4DosHeater(enabled=False),
+    ]

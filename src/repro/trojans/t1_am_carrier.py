@@ -1,0 +1,119 @@
+"""T1 — amplitude-modulation radio carrier Trojan.
+
+"T1 is an amplitude modulation radio carrier Trojan capable of emitting
+an electromagnetic (EM) wave at a frequency of 750 KHz ... activated
+periodically when a counter reaches 21'h1FFFFF under the 33 MHz clock."
+
+The trigger is a free-running 21-bit counter; on terminal count the
+radio activates for a programmable burst.  While active, the payload's
+round-synchronous switching is amplitude-modulated by the 750 kHz
+carrier envelope, which is what the zero-span trace at 48 MHz recovers
+as a smooth sinusoid (Figure 5a).
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..errors import WorkloadError
+from .base import CycleContext, Trojan, block_pattern
+
+#: The 21-bit terminal count from the paper.
+T1_TERMINAL = 0x1FFFFF
+
+#: Carrier frequency [Hz].
+T1_CARRIER_HZ = 750e3
+
+
+class T1AmCarrier(Trojan):
+    """T1: AM radio carrier, counter-triggered.
+
+    Parameters
+    ----------
+    enabled:
+        Master enable (the Trojan exists in the chip either way; when
+        False the payload never activates but the counter still runs).
+    start_count:
+        Initial counter value.  The real period is 2^21 cycles
+        (~63.6 ms at 33 MHz); experiments that must observe an
+        activation inside a short window set this close to the
+        terminal count.
+    burst_cycles:
+        Payload-active duration after each terminal count.
+    payload_fraction:
+        Fraction of payload cells switching at the burst peak.
+    """
+
+    name = "T1"
+
+    def __init__(
+        self,
+        enabled: bool = True,
+        start_count: int = 0,
+        burst_cycles: int = 1 << 20,
+        payload_fraction: float = 0.55,
+    ):
+        super().__init__(enabled)
+        if not 0 <= start_count <= T1_TERMINAL:
+            raise WorkloadError(
+                f"start_count {start_count:#x} outside 0..{T1_TERMINAL:#x}"
+            )
+        if burst_cycles < 1:
+            raise WorkloadError("burst_cycles must be >= 1")
+        if not 0.0 < payload_fraction <= 1.0:
+            raise WorkloadError("payload_fraction must be in (0, 1]")
+        self.start_count = start_count
+        self.burst_cycles = burst_cycles
+        self.payload_fraction = payload_fraction
+        self._counter = start_count
+        self._burst_remaining = 0
+        self._last_cycle: int | None = None
+
+    def reset(self) -> None:
+        self._counter = self.start_count
+        self._burst_remaining = 0
+        self._last_cycle = None
+
+    # -- trigger -------------------------------------------------------------
+
+    def _advance_to(self, cycle: int) -> None:
+        """Step the counter/burst state up to ``cycle`` (inclusive)."""
+        if self._last_cycle is None:
+            steps = 1
+        else:
+            steps = cycle - self._last_cycle
+            if steps < 0:
+                raise WorkloadError(
+                    "T1 observed cycles out of order "
+                    f"({self._last_cycle} -> {cycle}); call reset() between "
+                    "traces that restart time"
+                )
+        self._last_cycle = cycle
+        for _ in range(steps):
+            if self._burst_remaining > 0:
+                self._burst_remaining -= 1
+            if self._counter == T1_TERMINAL:
+                self._counter = 0
+                if self.enabled:
+                    # The burst spans exactly burst_cycles cycles,
+                    # starting with the terminal-count cycle itself.
+                    self._burst_remaining = self.burst_cycles
+            else:
+                self._counter += 1
+
+    def is_active(self, ctx: CycleContext) -> bool:
+        self._advance_to(ctx.cycle)
+        return self.enabled and self._burst_remaining > 0
+
+    # -- payload -------------------------------------------------------------
+
+    def payload_toggles(self, ctx: CycleContext) -> float:
+        envelope = 0.5 * (
+            1.0 + math.sin(2.0 * math.pi * T1_CARRIER_HZ * ctx.time_s)
+        )
+        burst = block_pattern(ctx.phase, ctx.block_cycles)
+        return self.n_cells * self.payload_fraction * envelope * burst
+
+    def trigger_toggles(self, ctx: CycleContext) -> float:
+        # A 21-bit ripple counter toggles on average ~2 bits per cycle.
+        return 2.0

@@ -1,0 +1,60 @@
+"""T2 — key-wire inverter-chain leakage amplifier.
+
+"T2 is a chain of inverters connected to a key wire to amplify its
+leakage current.  If T2 is implanted, attackers could recover the key
+via power analysis ... T2 is triggered when the first four bytes of the
+plaintext are 16'hAAAA."
+
+The trigger value ``16'hAAAA`` is 16 bits, i.e. the first two plaintext
+bytes both equal to 0xAA (the paper's "four bytes" vs "16'h" wording is
+internally inconsistent; we follow the 16-bit constant and document the
+choice).  While a matching block is being encrypted, the inverter chain
+follows the key-schedule wires, so its switching tracks the
+round-to-round Hamming distance of the round keys — block-aligned
+bursts that switch on and off with the plaintext pattern (Figure 5b).
+"""
+
+from __future__ import annotations
+
+from ..errors import WorkloadError
+from .base import CycleContext, Trojan, block_pattern
+
+#: Plaintext prefix that arms T2 (two bytes of 0xAA).
+T2_TRIGGER_PREFIX = b"\xaa\xaa"
+
+
+class T2KeyLeakInverters(Trojan):
+    """T2: inverter chain on a key wire, plaintext-triggered.
+
+    Parameters
+    ----------
+    enabled:
+        Master enable.
+    payload_fraction:
+        Fraction of the chain toggling at full key-schedule swing.
+    """
+
+    name = "T2"
+
+    def __init__(self, enabled: bool = True, payload_fraction: float = 0.80):
+        super().__init__(enabled)
+        if not 0.0 < payload_fraction <= 1.0:
+            raise WorkloadError("payload_fraction must be in (0, 1]")
+        self.payload_fraction = payload_fraction
+
+    @staticmethod
+    def matches(plaintext: bytes) -> bool:
+        """Whether a plaintext block satisfies the trigger condition."""
+        return plaintext[: len(T2_TRIGGER_PREFIX)] == T2_TRIGGER_PREFIX
+
+    def is_active(self, ctx: CycleContext) -> bool:
+        return self.enabled and self.matches(ctx.plaintext)
+
+    def payload_toggles(self, ctx: CycleContext) -> float:
+        key_swing = ctx.key_hd / 128.0
+        burst = block_pattern(ctx.phase, ctx.block_cycles)
+        return self.n_cells * self.payload_fraction * key_swing * burst
+
+    def trigger_toggles(self, ctx: CycleContext) -> float:
+        # The 16-bit comparator re-evaluates once per block load.
+        return 3.0 if ctx.phase == 0 else 1.0

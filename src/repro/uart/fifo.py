@@ -1,0 +1,56 @@
+"""A synchronous FIFO with overflow/underflow accounting."""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional
+
+from ..errors import WorkloadError
+
+
+class Fifo:
+    """Bounded FIFO used by the UART RX/TX paths.
+
+    Parameters
+    ----------
+    depth:
+        Maximum number of entries.
+    """
+
+    def __init__(self, depth: int):
+        if depth < 1:
+            raise WorkloadError(f"FIFO depth must be >= 1, got {depth}")
+        self.depth = depth
+        self._entries: Deque[int] = deque()
+        self.overflows = 0
+        self.underflows = 0
+        self.high_watermark = 0
+
+    def push(self, value: int) -> bool:
+        """Push one entry; returns False (and counts) on overflow."""
+        if len(self._entries) >= self.depth:
+            self.overflows += 1
+            return False
+        self._entries.append(value)
+        self.high_watermark = max(self.high_watermark, len(self._entries))
+        return True
+
+    def pop(self) -> Optional[int]:
+        """Pop one entry; returns None (and counts) on underflow."""
+        if not self._entries:
+            self.underflows += 1
+            return None
+        return self._entries.popleft()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def empty(self) -> bool:
+        """True when no entries are queued."""
+        return not self._entries
+
+    @property
+    def full(self) -> bool:
+        """True when at capacity."""
+        return len(self._entries) >= self.depth

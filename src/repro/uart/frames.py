@@ -1,0 +1,51 @@
+"""RS232 8N1 framing: one start bit, eight data bits (LSB first), one
+stop bit."""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from ..errors import WorkloadError
+
+#: Bits per 8N1 frame.
+FRAME_BITS = 10
+
+
+def encode_frame(byte: int) -> List[int]:
+    """Encode one byte as an 8N1 bit sequence (line idles high).
+
+    Returns ``[start(0), d0..d7, stop(1)]``.
+    """
+    if not 0 <= byte <= 0xFF:
+        raise WorkloadError(f"byte out of range: {byte!r}")
+    bits = [0]
+    bits.extend((byte >> i) & 1 for i in range(8))
+    bits.append(1)
+    return bits
+
+
+def decode_frames(bits: Sequence[int]) -> Tuple[List[int], int]:
+    """Decode a bit stream into bytes.
+
+    Scans for start bits (0) from an idle-high line, checks each stop
+    bit, and returns ``(bytes, n_consumed_bits)``.  Malformed frames
+    raise.
+    """
+    decoded: List[int] = []
+    position = 0
+    n = len(bits)
+    while position < n:
+        if bits[position] == 1:
+            position += 1  # idle
+            continue
+        if position + FRAME_BITS > n:
+            break  # incomplete trailing frame
+        frame = bits[position : position + FRAME_BITS]
+        if frame[9] != 1:
+            raise WorkloadError(
+                f"framing error at bit {position}: missing stop bit"
+            )
+        byte = sum(bit << i for i, bit in enumerate(frame[1:9]))
+        decoded.append(byte)
+        position += FRAME_BITS
+    return decoded, position

@@ -1,0 +1,126 @@
+"""Measurement campaigns: (chip, PSA, scenario) -> trace sets."""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..chip.power import ActivityRecord
+from ..chip.testchip import TestChip
+from ..core.array import ProgrammableSensorArray
+from ..errors import WorkloadError
+from ..traces import Trace
+from .scenarios import Scenario, scenario_by_name
+
+
+@dataclass
+class TraceSet:
+    """Traces collected for one scenario.
+
+    Attributes
+    ----------
+    scenario:
+        Scenario name.
+    traces:
+        ``traces[sensor_index][trace_index]`` — one list per sensor.
+    records:
+        The activity records behind each trace index.
+    """
+
+    scenario: str
+    traces: Dict[int, List[Trace]] = field(default_factory=dict)
+    records: List[ActivityRecord] = field(default_factory=list)
+
+    @property
+    def n_traces(self) -> int:
+        """Traces captured per sensor."""
+        return len(self.records)
+
+    def sensor(self, index: int) -> List[Trace]:
+        """All traces of one sensor."""
+        if index not in self.traces:
+            raise WorkloadError(f"trace set holds no sensor {index}")
+        return self.traces[index]
+
+
+class MeasurementCampaign:
+    """Runs scenario workloads and collects PSA traces.
+
+    Each trace uses a fresh plaintext stream (seeded deterministically
+    from the config seed, the scenario name and the trace index), so
+    trace-to-trace variation reflects real data-dependent activity, not
+    just noise redraws.
+
+    Parameters
+    ----------
+    chip:
+        The device under test.
+    psa:
+        Its sensor array.
+    """
+
+    def __init__(self, chip: TestChip, psa: ProgrammableSensorArray):
+        if psa.chip is not chip:
+            raise WorkloadError("PSA is not attached to this chip")
+        self.chip = chip
+        self.psa = psa
+
+    # -- record generation -----------------------------------------------------
+
+    def record(self, scenario: Scenario, trace_index: int) -> ActivityRecord:
+        """Simulate the activity record behind one trace."""
+        config = self.chip.config
+        # zlib.crc32 (not hash()) keeps seeds stable across processes —
+        # Python string hashing is salted per interpreter run.
+        name_hash = zlib.crc32(scenario.name.encode("utf-8"))
+        seed = (
+            (config.seed * 0x9E3779B1 + name_hash) ^ (trace_index * 7919)
+        ) & 0x7FFF_FFFF
+        seed = seed or 1
+        plaintexts = scenario.plaintexts(config.n_blocks, seed)
+        return self.chip.run_trace(
+            plaintexts,
+            active=scenario.active,
+            idle=scenario.idle,
+            scenario=scenario.name,
+        )
+
+    def records(self, scenario_name: str, n_traces: int) -> List[ActivityRecord]:
+        """Activity records for ``n_traces`` captures of a scenario."""
+        if n_traces < 1:
+            raise WorkloadError("need at least one trace")
+        scenario = scenario_by_name(scenario_name)
+        return [self.record(scenario, index) for index in range(n_traces)]
+
+    # -- trace collection ----------------------------------------------------------
+
+    def collect(
+        self,
+        scenario_name: str,
+        n_traces: int,
+        sensors: Optional[Sequence[int]] = None,
+    ) -> TraceSet:
+        """Capture ``n_traces`` from the selected sensors.
+
+        Parameters
+        ----------
+        scenario_name:
+            A key of :data:`repro.workloads.scenarios.SCENARIOS`.
+        n_traces:
+            Captures per sensor.
+        sensors:
+            Sensor indices (default: all 16).
+        """
+        wanted = list(range(16)) if sensors is None else list(sensors)
+        trace_set = TraceSet(scenario=scenario_name)
+        for index in wanted:
+            trace_set.traces[index] = []
+        for trace_index, record in enumerate(
+            self.records(scenario_name, n_traces)
+        ):
+            trace_set.records.append(record)
+            all_traces = self.psa.measure_all(record, trace_index=trace_index)
+            for index in wanted:
+                trace_set.traces[index].append(all_traces[index])
+        return trace_set

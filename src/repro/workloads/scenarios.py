@@ -1,0 +1,122 @@
+"""The paper's five measurement scenarios (plus the idle noise one).
+
+"For each of the 16 sensors, EM traces are recorded under five
+scenarios: when HTs T1, T2, T3, and T4 are individually activated and
+in the absence of any active HT." (Section VI-D).  The SNR measurement
+additionally needs the idle (powered, not encrypting) condition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List
+
+from ..errors import WorkloadError
+from .lfsr import PlaintextGenerator
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One measurement condition.
+
+    Attributes
+    ----------
+    name:
+        Scenario label.
+    active:
+        Trojan payloads allowed to fire.
+    idle:
+        Powered-but-not-encrypting (the SNR noise condition).
+    plaintext_policy:
+        ``"random"`` or ``"t2_alternating"``.
+    description:
+        Human-readable summary.
+    """
+
+    name: str
+    active: FrozenSet[str]
+    idle: bool
+    plaintext_policy: str
+    description: str
+
+    def plaintexts(self, n_blocks: int, seed: int) -> List[bytes]:
+        """Generate this scenario's plaintext stream for one trace."""
+        generator = PlaintextGenerator(seed)
+        if self.plaintext_policy == "random":
+            return generator.random_blocks(n_blocks)
+        if self.plaintext_policy == "t2_alternating":
+            return generator.t2_trigger_blocks(n_blocks, match_fraction=0.5)
+        raise WorkloadError(
+            f"unknown plaintext policy {self.plaintext_policy!r}"
+        )
+
+
+def _scenario(
+    name: str, active: tuple, idle: bool, policy: str, description: str
+) -> Scenario:
+    return Scenario(
+        name=name,
+        active=frozenset(active),
+        idle=idle,
+        plaintext_policy=policy,
+        description=description,
+    )
+
+
+#: All named scenarios.
+SCENARIOS: Dict[str, Scenario] = {
+    scenario.name: scenario
+    for scenario in [
+        _scenario(
+            "idle", (), True, "random", "powered up, no encryption (noise)"
+        ),
+        _scenario(
+            "baseline", (), False, "random", "AES encrypting, no active HT"
+        ),
+        _scenario("T1", ("T1",), False, "random", "AM radio carrier active"),
+        _scenario(
+            "T2",
+            ("T2",),
+            False,
+            "t2_alternating",
+            "key-wire inverter chain, alternating trigger plaintext",
+        ),
+        _scenario(
+            "T2_ref",
+            (),
+            False,
+            "t2_alternating",
+            "T2's plaintext pattern with the payload disabled "
+            "(matched-workload reference)",
+        ),
+        _scenario("T3", ("T3",), False, "random", "CDMA key leaker enabled"),
+        _scenario("T4", ("T4",), False, "random", "DoS heater enabled"),
+    ]
+}
+
+
+def scenario_by_name(name: str) -> Scenario:
+    """Look up a scenario.
+
+    Raises
+    ------
+    WorkloadError
+        For unknown names.
+    """
+    if name not in SCENARIOS:
+        raise WorkloadError(
+            f"unknown scenario {name!r}; expected one of {sorted(SCENARIOS)}"
+        )
+    return SCENARIOS[name]
+
+
+def reference_for(name: str) -> Scenario:
+    """The matched-workload Trojan-inactive reference of a scenario.
+
+    T2 compares against ``T2_ref`` (same plaintext distribution, payload
+    off); everything else compares against ``baseline``.
+    """
+    scenario = scenario_by_name(name)
+    if scenario.name == "T2":
+        return SCENARIOS["T2_ref"]
+    return SCENARIOS["baseline"]

@@ -1,0 +1,115 @@
+"""Golden-model-free runtime detector."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.analysis.detector import DetectorConfig, RuntimeDetector
+from repro.errors import AnalysisError
+
+
+def _stream(baseline_level, active_level, n_base, n_active, noise=0.1, seed=0):
+    rng = np.random.default_rng(seed)
+    return np.concatenate(
+        [
+            rng.normal(baseline_level, noise, n_base),
+            rng.normal(active_level, noise, n_active),
+        ]
+    )
+
+
+def test_detects_step_change():
+    detector = RuntimeDetector(DetectorConfig(warmup=6))
+    features = _stream(-40.0, -10.0, 10, 5)
+    alarm = detector.run(features)
+    assert alarm is not None
+    assert 10 <= alarm <= 12  # within a couple of traces of activation
+
+
+def test_no_alarm_on_stationary_stream():
+    detector = RuntimeDetector(DetectorConfig(warmup=6))
+    features = _stream(-40.0, -40.0, 30, 0)
+    assert detector.run(features) is None
+
+
+def test_two_sided_detects_drops():
+    detector = RuntimeDetector(DetectorConfig(warmup=6, two_sided=True))
+    features = _stream(-10.0, -40.0, 10, 5)
+    assert detector.run(features) is not None
+
+
+def test_one_sided_ignores_drops():
+    detector = RuntimeDetector(
+        DetectorConfig(warmup=6, two_sided=False)
+    )
+    features = _stream(-10.0, -40.0, 10, 5)
+    assert detector.run(features) is None
+
+
+def test_consecutive_debounce():
+    config = DetectorConfig(warmup=4, consecutive=2, z_threshold=5.0)
+    detector = RuntimeDetector(config)
+    # One outlier then back to baseline: no alarm.
+    stream = [0.0, 0.1, -0.1, 0.05, 100.0, 0.0, 0.0, 0.0]
+    assert detector.run(stream) is None
+
+
+def test_alarm_requires_warmup():
+    detector = RuntimeDetector(DetectorConfig(warmup=8))
+    for value in np.linspace(0, 1, 7):
+        decision = detector.update(float(value))
+        assert not decision.armed
+        assert not decision.alarm
+    assert not detector.armed
+
+
+def test_outliers_do_not_poison_baseline():
+    """A persistent Trojan cannot drag the self-reference upward."""
+    detector = RuntimeDetector(
+        DetectorConfig(warmup=6, consecutive=10**6, z_threshold=5.0)
+    )
+    rng = np.random.default_rng(1)
+    for value in rng.normal(0.0, 0.1, 10):
+        detector.update(float(value))
+    z_values = [detector.update(50.0).z for _ in range(20)]
+    # The z-score stays extreme — the baseline did not absorb 50.0.
+    assert min(z_values) > 50
+
+
+def test_reset_clears_state():
+    detector = RuntimeDetector(DetectorConfig(warmup=4))
+    detector.run(_stream(0.0, 10.0, 6, 3))
+    detector.reset()
+    assert not detector.armed
+    assert detector.decisions == []
+
+
+def test_nonfinite_feature_rejected():
+    detector = RuntimeDetector()
+    with pytest.raises(AnalysisError):
+        detector.update(float("nan"))
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    step=st.floats(min_value=5.0, max_value=100.0),
+    warmup=st.integers(min_value=3, max_value=12),
+)
+def test_large_steps_always_detected(step, warmup):
+    detector = RuntimeDetector(DetectorConfig(warmup=warmup))
+    features = _stream(0.0, step, warmup + 4, 6, noise=0.1, seed=42)
+    alarm = detector.run(features)
+    assert alarm is not None
+    assert alarm >= warmup + 4
+
+
+def test_config_validation():
+    with pytest.raises(AnalysisError):
+        DetectorConfig(warmup=1)
+    with pytest.raises(AnalysisError):
+        DetectorConfig(z_threshold=0.0)
+    with pytest.raises(AnalysisError):
+        DetectorConfig(consecutive=0)
+    with pytest.raises(AnalysisError):
+        DetectorConfig(warmup=10, baseline_window=5)

@@ -1,0 +1,72 @@
+"""Zero-span Trojan identification."""
+
+import pytest
+
+from repro.core.analysis.identifier import TrojanIdentifier
+from repro.errors import AnalysisError
+
+
+@pytest.fixture(scope="module")
+def identifier():
+    return TrojanIdentifier()
+
+
+def test_all_four_trojans_identified(identifier, psa, records):
+    """Section VI-D: all 4 HTs classified without full supervision."""
+    for trojan in ("T1", "T2", "T3", "T4"):
+        trace = psa.measure(records[trojan][0], 10, trace_index=700)
+        result = identifier.classify(trace)
+        assert result.label == trojan, (
+            f"{trojan} misidentified as {result.label}: {result.features}"
+        )
+
+
+def test_identification_stable_across_noise(identifier, psa, records):
+    labels = set()
+    for trace_index in range(3):
+        trace = psa.measure(records["T1"][0], 10, trace_index=trace_index)
+        labels.add(identifier.classify(trace).label)
+    assert labels == {"T1"}
+
+
+def test_t1_envelope_shows_carrier(identifier, psa, records):
+    trace = psa.measure(records["T1"][0], 10, 0)
+    feats = identifier.features(trace)
+    assert feats.dominant_freq == pytest.approx(750e3, rel=0.3)
+    assert feats.autocorr_peak > 0.8
+
+
+def test_t4_envelope_aperiodic(identifier, psa, records):
+    trace = psa.measure(records["T4"][0], 10, 0)
+    feats = identifier.features(trace)
+    assert feats.autocorr_peak < 0.4
+
+
+def test_zero_span_capture_properties(identifier, psa, records):
+    trace = psa.measure(records["T1"][0], 10, 0)
+    capture = identifier.zero_span(trace)
+    assert capture.f_center == pytest.approx(48e6)
+    assert (capture.envelope >= 0).all()
+    assert capture.fs < trace.fs
+
+
+def test_unsupervised_clustering_separates_trojans(identifier, psa, records):
+    traces = []
+    truth = []
+    for trojan in ("T1", "T2", "T3", "T4"):
+        for index in range(2):
+            traces.append(psa.measure(records[trojan][index], 10, 50 + index))
+            truth.append(trojan)
+    result = identifier.cluster(traces, n_clusters=4)
+    # Same-Trojan traces land in the same cluster.
+    for i in (0, 2, 4, 6):
+        assert result.labels[i] == result.labels[i + 1], truth[i]
+    labeled = identifier.label_clusters(traces, result)
+    predicted = [labeled[int(c)] for c in result.labels]
+    assert predicted == truth
+
+
+def test_cluster_needs_enough_traces(identifier, psa, records):
+    trace = psa.measure(records["T1"][0], 10, 0)
+    with pytest.raises(AnalysisError):
+        identifier.cluster([trace], n_clusters=4)

@@ -1,0 +1,146 @@
+"""Floorplan geometry and region weighting."""
+
+import numpy as np
+import pytest
+
+from repro.chip.floorplan import (
+    DIE_SIZE,
+    POWER_STRIPES,
+    Floorplan,
+    Rect,
+    default_floorplan,
+    sensor_rect,
+)
+from repro.errors import FloorplanError
+from repro.units import UM
+
+
+def test_rect_basics():
+    rect = Rect(0.0, 0.0, 2.0, 1.0)
+    assert rect.area == pytest.approx(2.0)
+    assert rect.center == (1.0, 0.5)
+    assert rect.contains(1.0, 0.5)
+    assert not rect.contains(3.0, 0.5)
+
+
+def test_rect_rejects_degenerate():
+    with pytest.raises(FloorplanError):
+        Rect(0.0, 0.0, 0.0, 1.0)
+
+
+def test_rect_overlap():
+    a = Rect(0, 0, 2, 2)
+    b = Rect(1, 1, 3, 3)
+    assert a.overlap_area(b) == pytest.approx(1.0)
+    assert a.overlap_area(Rect(5, 5, 6, 6)) == 0.0
+
+
+def test_rect_quadrants_tile():
+    rect = Rect(0, 0, 4, 4)
+    total = sum(rect.quadrant(q).area for q in ("nw", "ne", "sw", "se"))
+    assert total == pytest.approx(rect.area)
+    with pytest.raises(FloorplanError):
+        rect.quadrant("north")
+
+
+def test_sensor_rects_cover_die():
+    """The 16 sensors jointly cover the full die area."""
+    rects = [sensor_rect(i) for i in range(16)]
+    assert min(r.x0 for r in rects) == pytest.approx(0.0)
+    assert max(r.x1 for r in rects) == pytest.approx(DIE_SIZE, rel=0.02)
+    # Row-major indexing: sensor 0 is top-left.
+    s0 = sensor_rect(0)
+    assert s0.x0 == 0.0
+    assert s0.y1 == pytest.approx(DIE_SIZE)
+
+
+def test_sensor_overlap_fraction():
+    """Adjacent sensors share 3/11 of their area (see DESIGN.md)."""
+    s5, s6 = sensor_rect(5), sensor_rect(6)
+    share = s5.overlap_area(s6) / s5.area
+    assert share == pytest.approx(3.0 / 11.0, rel=0.01)
+
+
+def test_default_floorplan_places_trojans_under_sensor10():
+    floorplan = default_floorplan()
+    s10 = sensor_rect(10)
+    for trojan in ("T1", "T2", "T3", "T4"):
+        rect = floorplan.placements[trojan][0]
+        assert s10.overlap_area(rect) == pytest.approx(rect.area, rel=1e-9)
+
+
+def test_trojans_one_per_quadrant():
+    floorplan = default_floorplan()
+    centers = {
+        name: floorplan.placements[name][0].center
+        for name in ("T1", "T2", "T3", "T4")
+    }
+    cx = 22.0 * DIE_SIZE / 35.0
+    cy = 14.0 * DIE_SIZE / 35.0
+    assert centers["T1"][0] < cx and centers["T1"][1] > cy  # nw
+    assert centers["T2"][0] > cx and centers["T2"][1] > cy  # ne
+    assert centers["T3"][0] < cx and centers["T3"][1] < cy  # sw
+    assert centers["T4"][0] > cx and centers["T4"][1] < cy  # se
+
+
+def test_sensor0_patch_is_trojan_free():
+    floorplan = default_floorplan()
+    s0 = sensor_rect(0)
+    for trojan in ("T1", "T2", "T3", "T4"):
+        rect = floorplan.placements[trojan][0]
+        assert s0.overlap_area(rect) == 0.0
+
+
+def test_module_weights_normalized():
+    floorplan = default_floorplan()
+    for module in floorplan.placements:
+        weights = floorplan.module_weights(module)
+        assert weights.shape == (floorplan.n_regions,)
+        assert weights.sum() == pytest.approx(1.0, rel=1e-6)
+        assert (weights >= 0).all()
+
+
+def test_region_lookup_consistent():
+    floorplan = default_floorplan()
+    for region in (0, 17, floorplan.n_regions - 1):
+        rect = floorplan.region_rect(region)
+        cx, cy = rect.center
+        assert floorplan.region_of(cx, cy) == region
+    with pytest.raises(FloorplanError):
+        floorplan.region_of(-1.0, 0.0)
+
+
+def test_region_centers_avoid_lattice_wires():
+    """Region centers sit mid-cell (see floorplan docstring)."""
+    floorplan = default_floorplan()
+    pitch = DIE_SIZE / 35.0
+    centers = floorplan.region_centers()
+    offsets = (centers / pitch) % 1.0
+    assert np.allclose(offsets, 0.5, atol=1e-6)
+
+
+def test_return_points_on_stripes():
+    floorplan = default_floorplan()
+    sources, returns = floorplan.dipole_pairs()
+    assert sources.shape == returns.shape == (floorplan.n_regions, 2)
+    for x in returns[:, 0]:
+        assert np.min(np.abs(POWER_STRIPES - x)) < 1e-12
+    # y coordinates are preserved.
+    assert np.allclose(sources[:, 1], returns[:, 1])
+
+
+def test_trojan_returns_stay_in_sensor10_core():
+    """Both Trojan poles must sit in sensor 10's exclusive zone."""
+    floorplan = default_floorplan()
+    pitch = DIE_SIZE / 35.0
+    x_lo, x_hi = 19.0 * pitch, 24.0 * pitch
+    for trojan in ("T1", "T2", "T3", "T4"):
+        cx, cy = floorplan.placements[trojan][0].center
+        rx, _ = floorplan.return_point(cx, cy)
+        assert x_lo < cx < x_hi
+        assert x_lo < rx < x_hi
+
+
+def test_floorplan_rejects_out_of_die_modules():
+    with pytest.raises(FloorplanError):
+        Floorplan({"bad": [Rect(0, 0, 2e-3, 1e-4)]})

@@ -1,0 +1,57 @@
+"""IO pin assignment (Figure 2)."""
+
+import pytest
+
+from repro.chip.pins import (
+    IO_PINS,
+    channel_for_sensor,
+    pin_map,
+    pins_by_role,
+)
+from repro.errors import FloorplanError
+
+
+def test_32_pins_8_per_side():
+    assert len(IO_PINS) == 32
+    grouped = pin_map()
+    assert set(grouped) == {"left", "right", "top", "bottom"}
+    for side, pins in grouped.items():
+        assert len(pins) == 8, side
+        assert sorted(p.position for p in pins) == list(range(8))
+
+
+def test_psa_outputs_on_right_side():
+    """The PSA uses the 8 IO pins on the right side (Section V-A)."""
+    outputs = pins_by_role("psa_out")
+    assert len(outputs) == 8
+    assert all(pin.side == "right" for pin in outputs)
+    names = {pin.name for pin in outputs}
+    assert "Sensor1+" in names and "Sensor4-" in names
+
+
+def test_psa_control_on_bottom():
+    controls = pins_by_role("psa_ctrl")
+    assert len(controls) == 4
+    assert all(pin.side == "bottom" for pin in controls)
+
+
+def test_channel_sharing_per_row():
+    """The 4 sensors of each row share the row's output channel."""
+    for sensor in range(16):
+        assert channel_for_sensor(sensor) == sensor // 4 + 1
+    assert channel_for_sensor(10) == 3
+
+
+def test_channel_bounds():
+    with pytest.raises(FloorplanError):
+        channel_for_sensor(16)
+
+
+def test_trojan_enables_exist():
+    enables = {pin.name for pin in pins_by_role("trojan_en")}
+    assert enables == {"en_T1", "en_T2", "en_T3", "en_T4"}
+
+
+def test_unknown_role():
+    with pytest.raises(FloorplanError):
+        pins_by_role("jtag")

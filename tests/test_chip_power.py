@@ -1,0 +1,89 @@
+"""Supply-current kernel and power model."""
+
+import numpy as np
+import pytest
+
+from repro.chip.power import (
+    ActivityRecord,
+    PowerModel,
+    charge_per_toggle,
+    current_kernel,
+    emf_kernel,
+)
+from repro.config import SimConfig
+from repro.errors import ConfigError
+
+
+def test_charge_per_toggle():
+    assert charge_per_toggle(1.2, 3e-15) == pytest.approx(3.6e-15)
+    with pytest.raises(ConfigError):
+        charge_per_toggle(0.0)
+
+
+def test_kernel_integrates_to_unit_charge():
+    config = SimConfig()
+    kernel = current_kernel(config)
+    assert kernel.shape == (config.oversample,)
+    assert kernel.sum() * config.dt == pytest.approx(1.0, rel=1e-9)
+
+
+def test_kernel_has_half_duty():
+    """~50 % duty: the mechanism that suppresses even harmonics."""
+    config = SimConfig()
+    kernel = current_kernel(config)
+    high = kernel > 0.5 * kernel.max()
+    duty = high.sum() / kernel.size
+    assert 0.4 <= duty <= 0.6
+
+
+def test_kernel_suppresses_even_harmonics():
+    config = SimConfig()
+    kernel = current_kernel(config)
+    reps = 32
+    spectrum = np.abs(np.fft.rfft(np.tile(kernel, reps)))
+    odd = spectrum[reps] + spectrum[3 * reps]
+    even = spectrum[2 * reps] + spectrum[4 * reps]
+    assert even < 0.05 * odd
+
+
+def test_emf_kernel_is_derivative():
+    config = SimConfig()
+    kernel = current_kernel(config)
+    dkernel = emf_kernel(config)
+    assert dkernel.shape == (config.oversample,)
+    # Derivative of a periodic kernel sums to ~zero.
+    assert abs(dkernel.sum()) * config.dt < 1e-6 * np.abs(dkernel).max()
+
+
+def test_activity_record_validation():
+    config = SimConfig()
+    good = np.zeros((10, config.n_cycles))
+    record = ActivityRecord(main=good, trojan=good.copy(), config=config)
+    assert record.n_regions == 10
+    with pytest.raises(ConfigError):
+        ActivityRecord(
+            main=np.zeros((10, 5)), trojan=np.zeros((10, 5)), config=config
+        )
+
+
+def test_record_totals():
+    config = SimConfig()
+    main = np.full((4, config.n_cycles), 2.0)
+    trojan = np.full((4, config.n_cycles), 1.0)
+    record = ActivityRecord(main=main, trojan=trojan, config=config)
+    assert record.total_toggles() == pytest.approx(
+        3.0 * 4 * config.n_cycles
+    )
+    assert np.allclose(record.combined(), 3.0)
+
+
+def test_mean_current_plausible(chip):
+    """The AES core at 33 MHz should draw on the order of a milliamp."""
+    record = chip.run_trace([bytes(range(16))], active=set())
+    current = PowerModel(chip.config).mean_current(record)
+    assert 0.1e-3 < current < 10e-3
+
+
+def test_leakage_conversion():
+    model = PowerModel(SimConfig())
+    assert model.leakage_current(1000.0) == pytest.approx(1e-6)

@@ -1,0 +1,43 @@
+"""CLI parser wiring (execution is covered by the experiments tests)."""
+
+import pytest
+
+from repro.cli import _COMMANDS, build_parser
+
+
+def test_parser_accepts_all_experiments():
+    parser = build_parser()
+    for name in _COMMANDS:
+        args = parser.parse_args([name])
+        assert args.experiment == name
+
+
+def test_parser_all_keyword():
+    args = build_parser().parse_args(["all"])
+    assert args.experiment == "all"
+
+
+def test_parser_traces_option():
+    args = build_parser().parse_args(["fig4", "--traces", "7"])
+    assert args.traces == 7
+
+
+def test_parser_rejects_unknown():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["fig9"])
+
+
+def test_command_table_covers_paper_artifacts():
+    assert {
+        "table1",
+        "table2",
+        "fig3",
+        "fig4",
+        "fig5",
+        "snr",
+        "mttd",
+        "localize",
+        "robustness",
+        "cost",
+        "ablations",
+    } == set(_COMMANDS)

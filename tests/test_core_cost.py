@@ -1,0 +1,43 @@
+"""Section V-B implementation-cost model."""
+
+import pytest
+
+from repro.core.cost import implementation_cost
+
+
+@pytest.fixture(scope="module")
+def cost():
+    return implementation_cost()
+
+
+def test_tgate_resistance_34_ohm(cost):
+    assert cost.tgate_resistance_ohm == pytest.approx(34.0, rel=0.03)
+
+
+def test_area_overhead_about_5_percent(cost):
+    assert cost.area_overhead_fraction == pytest.approx(0.05, abs=0.01)
+
+
+def test_routing_capacity_about_6_25_percent(cost):
+    assert cost.routing_capacity_fraction == pytest.approx(0.0625, abs=0.005)
+
+
+def test_single_coil_uses_whole_layer(cost):
+    assert cost.single_coil_routing_fraction == 1.0
+    assert (
+        cost.routing_capacity_fraction
+        < 0.1 * cost.single_coil_routing_fraction
+    )
+
+
+def test_power_overhead_negligible(cost):
+    """Leakage of 1296 T-gates against ~1 mA of dynamic current."""
+    assert cost.power_overhead_fraction < 0.01
+
+
+def test_cost_responds_to_conditions():
+    cold = implementation_cost(vdd=1.2, temperature_c=-40.0)
+    hot = implementation_cost(vdd=0.8, temperature_c=125.0)
+    assert cold.tgate_resistance_ohm != hot.tgate_resistance_ohm
+    # Area/routing are geometry-only.
+    assert cold.area_overhead_fraction == hot.area_overhead_fraction

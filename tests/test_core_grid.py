@@ -1,0 +1,117 @@
+"""PSA lattice programming."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.grid import N_SWITCHES, N_WIRES, PITCH, PsaGrid
+from repro.errors import GridProgrammingError
+
+
+def test_lattice_dimensions_match_paper():
+    """36 x 36 wires, 1296 switches (Section V-A)."""
+    assert N_WIRES == 36
+    assert N_SWITCHES == 1296
+    grid = PsaGrid()
+    assert sum(1 for _ in grid.iter_switches()) == 1296
+
+
+def test_all_switches_start_off():
+    grid = PsaGrid()
+    assert grid.n_on == 0
+    assert not grid.is_on(0, 0)
+
+
+def test_turn_on_off():
+    grid = PsaGrid()
+    grid.turn_on(3, 5)
+    assert grid.is_on(3, 5)
+    assert grid.n_on == 1
+    grid.turn_off(3, 5)
+    assert not grid.is_on(3, 5)
+
+
+def test_position_scales_with_pitch():
+    x, y = PsaGrid.position(35, 0)
+    assert x == pytest.approx(35 * PITCH)
+    assert y == 0.0
+
+
+def test_out_of_range_rejected():
+    grid = PsaGrid()
+    with pytest.raises(GridProgrammingError):
+        grid.turn_on(36, 0)
+    with pytest.raises(GridProgrammingError):
+        grid.is_on(0, -1)
+
+
+def test_ownership_conflict_detected():
+    grid = PsaGrid()
+    grid.turn_on(1, 1, owner="coil_a")
+    with pytest.raises(GridProgrammingError):
+        grid.turn_on(1, 1, owner="coil_b")
+    # Same owner may re-assert its own switch.
+    grid.turn_on(1, 1, owner="coil_a")
+
+
+def test_program_is_atomic_on_conflict():
+    grid = PsaGrid()
+    grid.turn_on(2, 2, owner="existing")
+    with pytest.raises(GridProgrammingError):
+        grid.program([(0, 0), (1, 1), (2, 2)], owner="newcomer")
+    # Nothing from the failed request may remain.
+    assert not grid.is_on(0, 0)
+    assert not grid.is_on(1, 1)
+
+
+def test_release_by_owner():
+    grid = PsaGrid()
+    grid.program([(0, 0), (0, 1)], owner="a")
+    grid.program([(5, 5)], owner="b")
+    assert grid.release("a") == 2
+    assert grid.n_on == 1
+    assert grid.is_on(5, 5)
+
+
+def test_owners_listing():
+    grid = PsaGrid()
+    grid.program([(0, 0)], owner="x")
+    grid.program([(1, 1)], owner="y")
+    assert grid.owners() == {"x", "y"}
+    grid.clear()
+    assert grid.owners() == set()
+    assert grid.n_on == 0
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    st.sets(
+        st.tuples(
+            st.integers(min_value=0, max_value=35),
+            st.integers(min_value=0, max_value=35),
+        ),
+        max_size=64,
+    )
+)
+def test_program_release_roundtrip(points):
+    grid = PsaGrid()
+    grid.program(points, owner="prop")
+    assert grid.n_on == len(points)
+    assert grid.on_crosspoints() == set(points)
+    grid.release("prop")
+    assert grid.n_on == 0
+
+
+def test_snapshot_is_a_copy():
+    grid = PsaGrid()
+    grid.turn_on(0, 0)
+    snap = grid.snapshot()
+    snap[0, 0] = False
+    assert grid.is_on(0, 0)
+
+
+def test_ascii_art_renders():
+    grid = PsaGrid()
+    grid.turn_on(0, 35)  # on the sampled raster for any step
+    art = grid.ascii_art(step=6)
+    assert "#" in art and "." in art

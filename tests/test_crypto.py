@@ -1,0 +1,107 @@
+"""AES-128 correctness (FIPS-197 vectors + properties)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.cipher import (
+    decrypt_block,
+    encrypt_block,
+    encrypt_block_with_history,
+)
+from repro.crypto.key_schedule import expand_key
+from repro.crypto.sbox import INV_SBOX, SBOX, gf_inverse, gf_mul
+
+# FIPS-197 Appendix B.
+FIPS_KEY = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+FIPS_PLAINTEXT = bytes.fromhex("3243f6a8885a308d313198a2e0370734")
+FIPS_CIPHERTEXT = bytes.fromhex("3925841d02dc09fbdc118597196a0b32")
+
+# FIPS-197 Appendix C.1.
+C1_KEY = bytes.fromhex("000102030405060708090a0b0c0d0e0f")
+C1_PLAINTEXT = bytes.fromhex("00112233445566778899aabbccddeeff")
+C1_CIPHERTEXT = bytes.fromhex("69c4e0d86a7b0430d8cdb78070b4c55a")
+
+
+def test_sbox_known_entries():
+    assert SBOX[0x00] == 0x63
+    assert SBOX[0x01] == 0x7C
+    assert SBOX[0x53] == 0xED
+    assert SBOX[0xFF] == 0x16
+
+
+def test_sbox_is_a_permutation():
+    assert sorted(SBOX.tolist()) == list(range(256))
+    assert all(INV_SBOX[SBOX[i]] == i for i in range(256))
+
+
+def test_gf_arithmetic():
+    # Classic example: 0x57 * 0x83 = 0xC1 in GF(2^8).
+    assert gf_mul(0x57, 0x83) == 0xC1
+    assert gf_mul(0x57, 0x13) == 0xFE
+    for value in (1, 2, 0x53, 0xCA, 0xFF):
+        assert gf_mul(value, gf_inverse(value)) == 1
+    assert gf_inverse(0) == 0
+
+
+def test_key_schedule_fips_vector():
+    round_keys = expand_key(FIPS_KEY)
+    assert len(round_keys) == 11
+    assert bytes(round_keys[0]) == FIPS_KEY
+    assert bytes(round_keys[10]) == bytes.fromhex(
+        "d014f9a8c9ee2589e13f0cc8b6630ca6"
+    )
+
+
+def test_encrypt_fips_appendix_b():
+    assert encrypt_block(FIPS_PLAINTEXT, FIPS_KEY) == FIPS_CIPHERTEXT
+
+
+def test_encrypt_fips_appendix_c1():
+    assert encrypt_block(C1_PLAINTEXT, C1_KEY) == C1_CIPHERTEXT
+
+
+def test_decrypt_fips_vectors():
+    assert decrypt_block(FIPS_CIPHERTEXT, FIPS_KEY) == FIPS_PLAINTEXT
+    assert decrypt_block(C1_CIPHERTEXT, C1_KEY) == C1_PLAINTEXT
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    plaintext=st.binary(min_size=16, max_size=16),
+    key=st.binary(min_size=16, max_size=16),
+)
+def test_encrypt_decrypt_roundtrip(plaintext, key):
+    assert decrypt_block(encrypt_block(plaintext, key), key) == plaintext
+
+
+@settings(max_examples=20, deadline=None)
+@given(key=st.binary(min_size=16, max_size=16))
+def test_history_is_consistent(key):
+    history = encrypt_block_with_history(FIPS_PLAINTEXT, key)
+    assert len(history.rounds) == 10
+    states = history.cycle_states()
+    assert len(states) == 11
+    # Load cycle = plaintext ^ rk0.
+    expected = np.frombuffer(FIPS_PLAINTEXT, dtype=np.uint8) ^ history.round_keys[0]
+    assert np.array_equal(states[0], expected)
+    # Final round output is the ciphertext.
+    assert np.array_equal(states[-1], history.ciphertext)
+    # Round 10 has no MixColumns.
+    last = history.rounds[-1]
+    assert np.array_equal(last.after_mixcolumns, last.after_shiftrows)
+
+
+def test_avalanche_effect():
+    """Flipping one plaintext bit flips ~half the ciphertext bits."""
+    base = bytearray(FIPS_PLAINTEXT)
+    reference = np.frombuffer(
+        encrypt_block(bytes(base), FIPS_KEY), dtype=np.uint8
+    )
+    base[0] ^= 0x01
+    flipped = np.frombuffer(
+        encrypt_block(bytes(base), FIPS_KEY), dtype=np.uint8
+    )
+    distance = int(np.unpackbits(reference ^ flipped).sum())
+    assert 40 <= distance <= 88

@@ -1,0 +1,85 @@
+"""From-scratch K-means."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dsp.kmeans import KMeans
+from repro.errors import AnalysisError
+
+
+def _blobs(centers, n_per=40, spread=0.2, seed=0):
+    rng = np.random.default_rng(seed)
+    points = [
+        rng.normal(center, spread, size=(n_per, len(center)))
+        for center in centers
+    ]
+    return np.vstack(points)
+
+
+def test_separates_two_blobs():
+    data = _blobs([(0.0, 0.0), (10.0, 10.0)])
+    result = KMeans(n_clusters=2).fit(data)
+    labels = result.labels
+    # Each blob must be internally uniform.
+    assert len(set(labels[:40])) == 1
+    assert len(set(labels[40:])) == 1
+    assert labels[0] != labels[40]
+
+
+def test_centers_near_truth():
+    truth = [(0.0, 0.0), (5.0, 0.0), (0.0, 5.0)]
+    data = _blobs(truth, spread=0.1)
+    result = KMeans(n_clusters=3).fit(data)
+    for center in truth:
+        distances = np.linalg.norm(result.centers - np.array(center), axis=1)
+        assert distances.min() < 0.5
+
+
+def test_inertia_decreases_with_more_clusters():
+    data = _blobs([(0, 0), (4, 4), (8, 0)], spread=0.5)
+    inertia = [
+        KMeans(n_clusters=k).fit(data).inertia for k in (1, 2, 3)
+    ]
+    assert inertia[0] > inertia[1] > inertia[2]
+
+
+def test_labels_match_nearest_center():
+    data = _blobs([(0, 0), (6, 6)])
+    result = KMeans(n_clusters=2).fit(data)
+    distances = np.linalg.norm(
+        data[:, None, :] - result.centers[None, :, :], axis=2
+    )
+    assert np.array_equal(result.labels, distances.argmin(axis=1))
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(min_value=1, max_value=4))
+def test_k_clusters_always_assigned(k):
+    rng = np.random.default_rng(k)
+    data = rng.normal(size=(30, 3))
+    result = KMeans(n_clusters=k).fit(data)
+    assert set(result.labels) <= set(range(k))
+    assert result.centers.shape == (k, 3)
+
+
+def test_deterministic_with_fixed_rng():
+    data = _blobs([(0, 0), (3, 3)], seed=5)
+    a = KMeans(n_clusters=2, rng=np.random.default_rng(1)).fit(data)
+    b = KMeans(n_clusters=2, rng=np.random.default_rng(1)).fit(data)
+    assert np.allclose(a.centers, b.centers)
+    assert a.inertia == pytest.approx(b.inertia)
+
+
+def test_identical_points_no_crash():
+    data = np.ones((10, 2))
+    result = KMeans(n_clusters=2).fit(data)
+    assert result.inertia == pytest.approx(0.0)
+
+
+def test_errors():
+    with pytest.raises(AnalysisError):
+        KMeans(n_clusters=0)
+    with pytest.raises(AnalysisError):
+        KMeans(n_clusters=5).fit(np.zeros((3, 2)))

@@ -1,0 +1,50 @@
+"""RMS / dB metrics and He's SNR."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dsp.metrics import db_amplitude, db_to_amplitude, rms, snr_rms_db
+from repro.errors import AnalysisError
+
+
+def test_rms_of_sine():
+    t = np.linspace(0, 1, 10000, endpoint=False)
+    assert rms(np.sin(2 * np.pi * 10 * t)) == pytest.approx(
+        1 / np.sqrt(2), rel=1e-3
+    )
+
+
+def test_rms_of_constant():
+    assert rms(np.full(100, -3.0)) == pytest.approx(3.0)
+
+
+def test_rms_empty_rejected():
+    with pytest.raises(AnalysisError):
+        rms(np.array([]))
+
+
+def test_snr_definition():
+    """SNR = 20 log10(Vrms_signal / Vrms_noise) — paper Equation (1)."""
+    signal = np.full(1000, 10.0)
+    noise = np.full(1000, 0.1)
+    assert snr_rms_db(signal, noise) == pytest.approx(40.0)
+
+
+def test_snr_zero_noise_rejected():
+    with pytest.raises(AnalysisError):
+        snr_rms_db(np.ones(10), np.zeros(10))
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.floats(min_value=1e-6, max_value=1e6))
+def test_db_roundtrip(ratio):
+    assert db_to_amplitude(db_amplitude(np.array([ratio])))[0] == pytest.approx(
+        ratio, rel=1e-9
+    )
+
+
+def test_db_amplitude_floor_guard():
+    values = db_amplitude(np.array([0.0]))
+    assert np.isfinite(values).all()

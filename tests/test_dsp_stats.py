@@ -1,0 +1,85 @@
+"""Detection statistics and power analysis."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dsp.stats import (
+    cohens_d,
+    detection_power,
+    detection_rate,
+    required_measurements,
+    roc_auc,
+    welch_t,
+    z_score,
+)
+from repro.errors import AnalysisError
+
+
+def test_cohens_d_unit_separation():
+    rng = np.random.default_rng(0)
+    a = rng.normal(1.0, 1.0, 4000)
+    b = rng.normal(0.0, 1.0, 4000)
+    assert cohens_d(a, b) == pytest.approx(1.0, abs=0.1)
+
+
+def test_cohens_d_degenerate_zero_variance():
+    assert math.isinf(cohens_d(np.ones(5), np.zeros(5)))
+    assert cohens_d(np.ones(5), np.ones(5)) == 0.0
+
+
+def test_required_measurements_decreases_with_effect():
+    small = required_measurements(0.04)
+    large = required_measurements(5.0)
+    assert small > 10_000
+    assert large <= 2
+    assert required_measurements(0.0) == 10**9
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.floats(min_value=0.01, max_value=10.0))
+def test_required_measurements_monotone(d):
+    assert required_measurements(d) >= required_measurements(d * 2)
+
+
+def test_detection_power_wraps_both():
+    rng = np.random.default_rng(1)
+    a = rng.normal(3.0, 1.0, 500)
+    b = rng.normal(0.0, 1.0, 500)
+    power = detection_power(a, b)
+    assert power.effect_size == pytest.approx(3.0, abs=0.3)
+    assert power.n_required <= 5
+
+
+def test_welch_t_sign():
+    assert welch_t(np.array([5.0, 6.0, 7.0]), np.array([1.0, 2.0, 3.0])) > 0
+    assert welch_t(np.array([1.0, 2.0, 3.0]), np.array([5.0, 6.0, 7.0])) < 0
+
+
+def test_z_score_basic():
+    baseline = np.array([10.0, 10.5, 9.5, 10.2, 9.8])
+    assert z_score(10.0, baseline) == pytest.approx(0.0, abs=0.2)
+    assert z_score(20.0, baseline) > 10
+
+
+def test_roc_auc_perfect_and_chance():
+    assert roc_auc(np.array([2.0, 3.0]), np.array([0.0, 1.0])) == 1.0
+    same = np.array([1.0, 1.0])
+    assert roc_auc(same, same) == 0.5
+
+
+def test_detection_rate_extremes():
+    baseline = np.random.default_rng(2).normal(0, 1, 100)
+    far = baseline + 100.0
+    assert detection_rate(far, baseline, z_threshold=4.0) == 1.0
+    assert detection_rate(baseline, baseline, z_threshold=4.0) < 0.05
+
+
+def test_small_samples_rejected():
+    with pytest.raises(AnalysisError):
+        cohens_d(np.array([1.0]), np.array([1.0, 2.0]))
+    with pytest.raises(AnalysisError):
+        z_score(1.0, np.array([1.0]))

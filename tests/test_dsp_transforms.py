@@ -1,0 +1,123 @@
+"""Spectrum computation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dsp.transforms import (
+    amplitude_spectrum,
+    average_spectra,
+    band_slice,
+    pick_peaks,
+    resample_spectrum,
+)
+from repro.errors import AnalysisError
+
+FS = 528e6
+
+
+def _tone(freq, amp, n=8448, fs=FS):
+    t = np.arange(n) / fs
+    return amp * np.sin(2 * np.pi * freq * t)
+
+
+def test_single_tone_amplitude():
+    """An on-bin sine of peak A reads A/sqrt(2) RMS in its bin."""
+    spec = amplitude_spectrum(_tone(33e6, 2.0), FS)
+    assert spec.at(33e6) == pytest.approx(2.0 / np.sqrt(2.0), rel=1e-6)
+
+
+def test_two_tones_resolve():
+    trace = _tone(33e6, 1.0) + _tone(48e6, 0.25)
+    spec = amplitude_spectrum(trace, FS)
+    assert spec.at(48e6) == pytest.approx(0.25 / np.sqrt(2.0), rel=1e-6)
+    assert spec.at(60e6) < 1e-9
+
+
+def test_dc_bin_not_doubled():
+    spec = amplitude_spectrum(np.full(1024, 0.5), FS)
+    assert spec.amps[0] == pytest.approx(0.5)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    freq_bin=st.integers(min_value=4, max_value=400),
+    amp=st.floats(min_value=1e-3, max_value=10.0),
+)
+def test_parseval_single_tone(freq_bin, amp):
+    """Total spectral power equals time-domain power (Parseval)."""
+    n = 4096
+    freq = freq_bin * FS / n
+    trace = _tone(freq, amp, n=n)
+    spec = amplitude_spectrum(trace, FS)
+    spectral_power = float(np.sum(spec.amps**2))
+    time_power = float(np.mean(trace**2))
+    assert spectral_power == pytest.approx(time_power, rel=1e-6)
+
+
+def test_average_spectra_reduces_noise_variance():
+    rng = np.random.default_rng(3)
+    specs = [
+        amplitude_spectrum(rng.normal(0, 1, 2048), FS) for _ in range(16)
+    ]
+    averaged = average_spectra(specs)
+    single_var = np.var(specs[0].amps)
+    avg_var = np.var(averaged.amps)
+    assert avg_var < single_var / 4
+
+
+def test_average_requires_matching_axes():
+    a = amplitude_spectrum(np.zeros(256) + 1.0, FS)
+    b = amplitude_spectrum(np.zeros(512) + 1.0, FS)
+    with pytest.raises(AnalysisError):
+        average_spectra([a, b])
+
+
+def test_resample_to_display_grid():
+    spec = amplitude_spectrum(_tone(48e6, 1.0), FS)
+    display = resample_spectrum(spec, 0.0, 120e6, 2000)
+    assert len(display) == 2000
+    assert display.freqs[0] == 0.0
+    assert display.freqs[-1] == pytest.approx(120e6)
+    assert display.at(48e6) == pytest.approx(1.0 / np.sqrt(2.0), rel=0.05)
+
+
+def test_resample_rejects_band_beyond_nyquist():
+    spec = amplitude_spectrum(np.ones(256), 100e6)
+    with pytest.raises(AnalysisError):
+        resample_spectrum(spec, 0.0, 80e6)
+
+
+def test_band_slice():
+    spec = amplitude_spectrum(_tone(48e6, 1.0), FS)
+    band = band_slice(spec, 40e6, 60e6)
+    assert band.freqs[0] >= 40e6
+    assert band.freqs[-1] <= 60e6
+    assert band.amps.max() == pytest.approx(1.0 / np.sqrt(2.0), rel=1e-6)
+
+
+def test_pick_peaks_orders_and_separates():
+    trace = _tone(30e6, 1.0) + _tone(60e6, 0.5) + _tone(61e6, 0.4)
+    spec = amplitude_spectrum(trace, FS)
+    peaks = pick_peaks(spec, n_peaks=2, min_separation_hz=5e6)
+    freqs = [spec.freqs[i] for i in peaks]
+    assert freqs[0] == pytest.approx(30e6, abs=1e5)
+    # 61 MHz is inside the 60 MHz exclusion, so the second peak is 60.
+    assert freqs[1] == pytest.approx(60e6, abs=1e5)
+
+
+def test_pick_peaks_exclusion_list():
+    trace = _tone(33e6, 1.0) + _tone(48e6, 0.5)
+    spec = amplitude_spectrum(trace, FS)
+    peaks = pick_peaks(
+        spec, n_peaks=1, min_separation_hz=1e6, exclude=[33e6], exclusion_hz=2e6
+    )
+    assert spec.freqs[peaks[0]] == pytest.approx(48e6, abs=1e5)
+
+
+def test_spectrum_db_reference():
+    n = 4096
+    freq = 78 * FS / n  # exactly on a bin
+    spec = amplitude_spectrum(_tone(freq, np.sqrt(2.0) * 1e-6, n=n), FS)
+    assert spec.db()[spec.bin_of(freq)] == pytest.approx(0.0, abs=0.1)

@@ -1,0 +1,120 @@
+"""Coupling matrices and EMF synthesis."""
+
+import numpy as np
+import pytest
+
+from repro.chip.power import ActivityRecord
+from repro.config import SimConfig
+from repro.em.coupling import CouplingMatrix, emf_waveforms
+from repro.em.probes import langer_lf1_probe, single_coil_receiver
+from repro.errors import ConfigError
+
+
+@pytest.fixture(scope="module")
+def coupling(chip, psa):
+    return psa.coupling
+
+
+def test_matrix_shape(coupling, chip):
+    assert coupling.matrix.shape == (16, chip.floorplan.n_regions)
+    assert coupling.bond_row.shape == (16,)
+
+
+def test_sensor10_dominates_trojan_regions(coupling, chip):
+    """Sensor 10 couples hardest to the Trojan cluster."""
+    weights = np.zeros(chip.floorplan.n_regions)
+    for trojan in ("T1", "T2", "T3", "T4"):
+        weights += chip.floorplan.module_weights(trojan)
+    scores = np.abs(coupling.matrix) @ weights
+    assert int(np.argmax(scores)) == 10
+
+
+def test_sensor0_weak_on_trojan_regions(coupling, chip):
+    weights = chip.floorplan.module_weights("T1")
+    scores = np.abs(coupling.matrix) @ weights
+    assert scores[0] < 0.05 * scores[10]
+
+
+def test_row_and_index_lookup(coupling):
+    row = coupling.row("psa_sensor_10")
+    assert np.array_equal(row, coupling.matrix[10])
+    assert coupling.index_of("psa_sensor_3") == 3
+    with pytest.raises(ConfigError):
+        coupling.row("nonexistent")
+
+
+def test_bond_row_larger_for_external_probe(chip):
+    matrix = CouplingMatrix(
+        chip.floorplan,
+        [langer_lf1_probe(), single_coil_receiver()],
+        scale=1.0,
+    )
+    # The multi-turn probe at package distance links far more of the
+    # bond loop's flux than... both link it; the probe's local-region
+    # coupling must be tiny compared to the on-chip coil's.
+    probe_local = np.abs(matrix.matrix[0]).sum()
+    coil_local = np.abs(matrix.matrix[1]).sum()
+    assert coil_local > 10 * probe_local
+
+
+def test_emf_superposition(chip, psa):
+    """EMF is linear in the activity (superposition holds)."""
+    config = chip.config
+    n_regions = chip.floorplan.n_regions
+    base = np.zeros((n_regions, config.n_cycles))
+    a = base.copy()
+    a[100, :] = 5.0
+    b = base.copy()
+    b[300, :] = 3.0
+
+    def record(main):
+        return ActivityRecord(
+            main=main, trojan=base.copy(), config=config, scenario="t"
+        )
+
+    emf_a = emf_waveforms(psa.coupling, record(a))
+    emf_b = emf_waveforms(psa.coupling, record(b))
+    emf_ab = emf_waveforms(psa.coupling, record(a + b))
+    assert np.allclose(emf_ab, emf_a + emf_b, atol=1e-12)
+
+
+def test_trojan_phase_offset(chip, psa):
+    """Trojan activity renders half a cycle after main activity."""
+    config = chip.config
+    n_regions = chip.floorplan.n_regions
+    zeros = np.zeros((n_regions, config.n_cycles))
+    pulse = zeros.copy()
+    pulse[200, 10] = 1.0
+
+    as_main = ActivityRecord(
+        main=pulse, trojan=zeros.copy(), config=config, scenario="m"
+    )
+    as_trojan = ActivityRecord(
+        main=zeros.copy(), trojan=pulse.copy(), config=config, scenario="t"
+    )
+    emf_main = emf_waveforms(psa.coupling, as_main)[10]
+    emf_trojan = emf_waveforms(psa.coupling, as_trojan)[10]
+    half = config.oversample // 2
+    shifted = np.roll(emf_main, half)
+    # Identical waveform, displaced by half a cycle.
+    assert np.allclose(emf_trojan[half:-half], shifted[half:-half], atol=1e-15)
+
+
+def test_scale_is_linear(chip):
+    receivers = [single_coil_receiver()]
+    small = CouplingMatrix(chip.floorplan, receivers, scale=1.0)
+    big = CouplingMatrix(chip.floorplan, receivers, scale=10.0)
+    assert np.allclose(big.matrix, 10.0 * small.matrix)
+    # The bond row is governed by its own scale.
+    assert np.allclose(big.bond_row, small.bond_row)
+
+
+def test_invalid_construction(chip):
+    with pytest.raises(ConfigError):
+        CouplingMatrix(chip.floorplan, [])
+    with pytest.raises(ConfigError):
+        CouplingMatrix(chip.floorplan, [single_coil_receiver()], scale=-1.0)
+    with pytest.raises(ConfigError):
+        CouplingMatrix(
+            chip.floorplan, [single_coil_receiver()], return_fraction=1.5
+        )

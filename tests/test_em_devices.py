@@ -1,0 +1,80 @@
+"""T-gate / MOSFET device physics."""
+
+import pytest
+
+from repro.em.devices import (
+    TGATE_R_NOMINAL,
+    impedance_db,
+    mosfet_on_resistance,
+    sensor_impedance,
+    tgate_resistance,
+    wire_resistance,
+)
+from repro.errors import ConfigError
+
+
+def test_tgate_nominal_resistance_is_34_ohm():
+    """Section V-B: ~34 ohm at 1.2 V / 25 C."""
+    assert tgate_resistance(1.2, 25.0) == pytest.approx(
+        TGATE_R_NOMINAL, rel=0.03
+    )
+
+
+def test_resistance_rises_at_low_supply():
+    assert tgate_resistance(0.8, 25.0) > tgate_resistance(1.2, 25.0)
+
+
+def test_voltage_span_about_4db():
+    """Section VI-C: only ~4 dB impedance drop from 0.8 V to 1.2 V."""
+    from repro.core.sensors import standard_sensor_coil
+
+    coil = standard_sensor_coil(10)
+    z_lo = sensor_impedance(coil.n_tgates, coil.wire_length, 50e6, vdd=0.8)
+    z_hi = sensor_impedance(coil.n_tgates, coil.wire_length, 50e6, vdd=1.2)
+    span = impedance_db(z_lo) - impedance_db(z_hi)
+    assert 1.0 < span < 6.0
+
+
+def test_temperature_compensation():
+    """Mobility and Vth shifts partially cancel: |span| stays small."""
+    values = [
+        tgate_resistance(1.2, t) for t in (-40.0, 0.0, 25.0, 85.0, 125.0)
+    ]
+    span_db = impedance_db(complex(max(values))) - impedance_db(
+        complex(min(values))
+    )
+    assert span_db < 6.0
+
+
+def test_pmos_weaker_than_nmos():
+    assert mosfet_on_resistance(1.2, 25.0, "pmos") > mosfet_on_resistance(
+        1.2, 25.0, "nmos"
+    )
+
+
+def test_unknown_device_kind():
+    with pytest.raises(ConfigError):
+        mosfet_on_resistance(1.2, 25.0, "finfet")
+
+
+def test_subthreshold_supply_rejected():
+    with pytest.raises(ConfigError):
+        mosfet_on_resistance(0.45, 25.0, "nmos")
+
+
+def test_wire_resistance_scaling():
+    base = wire_resistance(1e-3, 1e-6)
+    assert wire_resistance(2e-3, 1e-6) == pytest.approx(2 * base)
+    assert wire_resistance(1e-3, 2e-6) == pytest.approx(base / 2)
+
+
+def test_sensor_impedance_inductive_at_high_frequency():
+    z_lo = sensor_impedance(20, 4e-3, 1e6)
+    z_hi = sensor_impedance(20, 4e-3, 100e6)
+    assert z_hi.imag > z_lo.imag
+    assert z_hi.real == pytest.approx(z_lo.real)
+
+
+def test_impedance_db_guard():
+    with pytest.raises(ConfigError):
+        impedance_db(complex(0.0))

@@ -1,0 +1,124 @@
+"""Dipole field physics."""
+
+import numpy as np
+import pytest
+
+from repro.em.dipole import (
+    analytic_centered_flux,
+    bz_unit_dipole,
+    flux_through_patches,
+)
+from repro.em.loops import (
+    loop_flux_factor,
+    rect_patches,
+    rect_perimeter,
+    surface_flux_factor,
+    turns_flux_factor,
+)
+from repro.chip.floorplan import Rect
+from repro.errors import ConfigError
+from repro.units import MU0, UM
+
+
+def test_on_axis_field_positive_and_decaying():
+    dipole = np.array([[0.0, 0.0]])
+    points = np.array([[0.0, 0.0]])
+    near = bz_unit_dipole(dipole, 0.0, points, 10 * UM)[0, 0]
+    far = bz_unit_dipole(dipole, 0.0, points, 20 * UM)[0, 0]
+    assert near > far > 0.0
+    # On-axis: Bz = mu0 m / (2 pi z^3).
+    expected = MU0 / (2 * np.pi * (10 * UM) ** 3)
+    assert near == pytest.approx(expected, rel=1e-9)
+
+
+def test_field_changes_sign_off_axis():
+    """Bz flips sign beyond the sqrt(2)*z radius (flux returns)."""
+    dipole = np.array([[0.0, 0.0]])
+    z = 10 * UM
+    inside = bz_unit_dipole(dipole, 0.0, np.array([[5 * UM, 0.0]]), z)[0, 0]
+    outside = bz_unit_dipole(dipole, 0.0, np.array([[50 * UM, 0.0]]), z)[0, 0]
+    assert inside > 0.0
+    assert outside < 0.0
+
+
+def test_coincident_planes_rejected():
+    with pytest.raises(ConfigError):
+        bz_unit_dipole(np.array([[0.0, 0.0]]), 0.0, np.array([[1.0, 1.0]]), 0.0)
+
+
+def test_line_integral_matches_surface_integral():
+    """Vector-potential and patch fluxes agree away from the core."""
+    rect = Rect(-200 * UM, -200 * UM, 200 * UM, 200 * UM)
+    dipole = np.array([[35 * UM, -20 * UM]])
+    z = 60 * UM  # high enough for the patch integral to converge
+    line = loop_flux_factor(rect, z, dipole, 0.0, points_per_side=256)[0]
+    surface = surface_flux_factor(rect, z, dipole, 0.0, n_side=256)[0]
+    assert line == pytest.approx(surface, rel=0.01)
+
+
+def test_line_integral_matches_analytic_centered_disk():
+    """Square-loop flux ~ equal-area circle flux for a centered dipole."""
+    z = 5 * UM
+    side = 400 * UM
+    rect = Rect(-side / 2, -side / 2, side / 2, side / 2)
+    flux = loop_flux_factor(rect, z, np.array([[0.0, 0.0]]), 0.0, 256)[0]
+    radius = side / np.sqrt(np.pi)  # equal-area circle
+    expected = analytic_centered_flux(radius, z)
+    assert flux == pytest.approx(expected, rel=0.1)
+
+
+def test_flux_decays_with_loop_size():
+    """Self-cancellation: a centered dipole links less flux through a
+    bigger loop (the single-coil penalty)."""
+    z = 5 * UM
+    dipole = np.array([[0.0, 0.0]])
+    fluxes = []
+    for side in (100 * UM, 300 * UM, 900 * UM):
+        rect = Rect(-side / 2, -side / 2, side / 2, side / 2)
+        fluxes.append(loop_flux_factor(rect, z, dipole, 0.0, 128)[0])
+    assert fluxes[0] > fluxes[1] > fluxes[2] > 0.0
+
+
+def test_dipole_outside_loop_links_negative_flux():
+    rect = Rect(0.0, 0.0, 100 * UM, 100 * UM)
+    outside = np.array([[150 * UM, 50 * UM]])
+    flux = loop_flux_factor(rect, 5 * UM, outside, 0.0, 128)[0]
+    assert flux < 0.0
+
+
+def test_turns_sum_linearly():
+    turn_a = Rect(0.0, 0.0, 100 * UM, 100 * UM)
+    turn_b = Rect(10 * UM, 10 * UM, 90 * UM, 90 * UM)
+    dipole = np.array([[50 * UM, 50 * UM]])
+    combined = turns_flux_factor([turn_a, turn_b], 5 * UM, dipole, 0.0)[0]
+    separate = (
+        loop_flux_factor(turn_a, 5 * UM, dipole, 0.0)[0]
+        + loop_flux_factor(turn_b, 5 * UM, dipole, 0.0)[0]
+    )
+    assert combined == pytest.approx(separate, rel=1e-12)
+
+
+def test_rect_perimeter_closes():
+    rect = Rect(0.0, 0.0, 2.0, 1.0)
+    midpoints, deltas = rect_perimeter(rect, 16)
+    assert midpoints.shape == deltas.shape == (64, 2)
+    # A closed path's segment vectors sum to zero.
+    assert np.allclose(deltas.sum(axis=0), 0.0, atol=1e-12)
+    # Total length equals the perimeter.
+    assert np.linalg.norm(deltas, axis=1).sum() == pytest.approx(6.0)
+
+
+def test_rect_patches_tile_area():
+    rect = Rect(0.0, 0.0, 3.0, 2.0)
+    centers, area = rect_patches(rect, 6)
+    assert centers.shape == (36, 2)
+    assert 36 * area == pytest.approx(rect.area)
+
+
+def test_flux_through_patches_signs():
+    dipole = np.array([[0.0, 0.0]])
+    patches, area = rect_patches(
+        Rect(-5 * UM, -5 * UM, 5 * UM, 5 * UM), 8
+    )
+    flux = flux_through_patches(dipole, 0.0, patches, 10 * UM, area)
+    assert flux[0] > 0.0

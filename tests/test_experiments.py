@@ -1,0 +1,96 @@
+"""Experiment harness smoke tests (light parameterizations)."""
+
+import pytest
+
+from repro.experiments.context import ExperimentContext
+
+
+@pytest.fixture(scope="module")
+def ctx(config, chip, psa, campaign):
+    return ExperimentContext(
+        config=config, chip=chip, psa=psa, campaign=campaign
+    )
+
+
+def test_snr_experiment(ctx):
+    from repro.experiments.snr import format_snr, run_snr
+
+    result = run_snr(ctx, n_traces=1)
+    for name, paper in result.paper_db.items():
+        assert abs(result.measured_db[name] - paper) < 6.0, name
+    text = format_snr(result)
+    assert "psa" in text and "41.0" in text
+
+
+def test_table2_experiment(ctx):
+    from repro.experiments.table2 import format_table2, run_table2
+
+    rows = run_table2()
+    assert rows[0].n_cells == 28806
+    text = format_table2(rows)
+    assert "T3" in text and "329" in text
+
+
+def test_fig3_experiment(ctx):
+    from repro.experiments.fig3 import format_fig3, run_fig3
+
+    result = run_fig3(ctx, n_traces=1)
+    assert result.max_difference_db > 30.0
+    assert "max difference" in format_fig3(result)
+
+
+def test_fig5_experiment(ctx):
+    from repro.experiments.fig5 import format_fig5, run_fig5
+
+    result = run_fig5(ctx)
+    assert result.identification_accuracy == 1.0
+    text = format_fig5(result)
+    assert "identified as" in text
+
+
+def test_cost_experiment(ctx):
+    from repro.experiments.cost import format_cost, run_cost
+
+    cost = run_cost()
+    text = format_cost(cost)
+    assert "34" in text and "ohm" in text
+
+
+def test_robustness_experiment(ctx):
+    from repro.experiments.robustness import format_robustness, run_robustness
+
+    result = run_robustness(ctx, n_voltage=3, n_temperature=4)
+    assert result.voltage.span_db < 6.0
+    assert result.temperature.span_db < 6.0
+    assert result.chirp.relative_span < 0.6
+    assert "T-gate" in format_robustness(result)
+
+
+def test_mttd_experiment(ctx):
+    from repro.experiments.mttd import format_mttd, run_mttd
+
+    result = run_mttd(ctx, n_baseline=7, n_active=3)
+    assert result.all_within_budget
+    assert "MTTD" in format_mttd(result)
+
+
+def test_duty_ablation():
+    from repro.experiments.ablations import run_duty_sweep
+
+    result = run_duty_sweep()
+    assert result.min_ratio_duty == pytest.approx(0.5, abs=0.06)
+
+
+def test_reporting_helpers():
+    from repro.experiments.reporting import (
+        format_series,
+        format_table,
+        sparkline,
+    )
+
+    table = format_table(["a", "b"], [(1, 2.5), ("x", "y")])
+    assert "a" in table and "2.50" in table
+    series = format_series([1.0, 2.0], [3.0, 4.0], "x", "y")
+    assert "3.00" in series
+    assert len(sparkline([0, 1, 2, 3], width=4)) == 4
+    assert sparkline([]) == ""

@@ -1,0 +1,61 @@
+"""End-to-end cross-domain analysis (the paper's headline flow)."""
+
+import pytest
+
+from repro.core.analysis.pipeline import CrossDomainAnalyzer
+from repro.errors import AnalysisError
+
+
+@pytest.fixture(scope="module")
+def analyzer(chip, psa):
+    return CrossDomainAnalyzer(chip, psa)
+
+
+@pytest.fixture(scope="module")
+def t1_report(analyzer):
+    return analyzer.run("T1", n_baseline=7, n_active=4)
+
+
+def test_detection_within_paper_budget(t1_report):
+    """<10 traces, <10 ms MTTD (Section VI-D)."""
+    assert t1_report.mttd.detected
+    assert t1_report.mttd.traces_to_detect < 10
+    assert t1_report.mttd.mttd_s < 10e-3
+
+
+def test_prominent_components_at_48_and_84_mhz(t1_report):
+    freqs = sorted(freq for freq, _ in t1_report.prominent_components)
+    assert freqs[0] == pytest.approx(48e6, abs=1e6)
+    assert freqs[1] == pytest.approx(84e6, abs=1e6)
+
+
+def test_localization_names_sensor10(t1_report):
+    assert t1_report.localization.sensor_index == 10
+    assert t1_report.localization.quadrant == "nw"
+
+
+def test_identification_names_t1(t1_report):
+    assert t1_report.identification.label == "T1"
+
+
+def test_monitor_sensor_recorded(t1_report):
+    assert t1_report.monitor_sensor == 10
+    assert t1_report.scenario == "T1"
+
+
+def test_t3_smallest_trojan_detected(analyzer):
+    """The 329-cell T3 defeats the prior methods but not the PSA."""
+    report = analyzer.run(
+        "T3", n_baseline=7, n_active=4, refine_localization=False
+    )
+    assert report.mttd.detected
+    assert report.mttd.traces_to_detect < 10
+    assert report.localization.sensor_index == 10
+    assert report.identification.label == "T3"
+
+
+def test_idle_scenario_rejected(analyzer):
+    with pytest.raises(AnalysisError):
+        analyzer.run("idle")
+    with pytest.raises(AnalysisError):
+        analyzer.run("baseline")

@@ -1,0 +1,85 @@
+"""Assembled test-chip behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.chip.testchip import TestChip as AesTestChip
+from repro.config import SimConfig
+from repro.errors import WorkloadError
+
+PLAINTEXTS = [bytes(range(16)), bytes(range(16, 32))]
+
+
+def test_idle_record_is_quiet(chip):
+    idle = chip.run_trace(PLAINTEXTS, idle=True)
+    busy = chip.run_trace(PLAINTEXTS, active=set())
+    assert idle.total_toggles() < 0.01 * busy.total_toggles()
+    # Idle has no Trojan activity at all (clock gated).
+    assert idle.trojan.sum() == 0.0
+
+
+def test_trojan_activity_isolated_to_trojan_matrix(chip):
+    baseline = chip.run_trace(PLAINTEXTS, active=set())
+    with_t4 = chip.run_trace(PLAINTEXTS, active={"T4"})
+    # Main activity identical; the delta lives in the trojan planes
+    # (T4 is a rising-phase power virus).
+    assert np.allclose(baseline.main, with_t4.main)
+    assert (
+        with_t4.trojan_total().sum() > 100 * baseline.trojan_total().sum()
+    )
+
+
+def test_trojan_activity_in_correct_regions(chip):
+    record = chip.run_trace(PLAINTEXTS, active={"T3"})
+    delta = record.trojan.sum(axis=1)
+    baseline = chip.run_trace(PLAINTEXTS, active=set()).trojan.sum(axis=1)
+    added = delta - baseline
+    t3_weights = chip.floorplan.module_weights("T3")
+    # At least 90 % of the added toggles land on T3's regions.
+    assert added[t3_weights > 0].sum() > 0.9 * added.sum()
+
+
+def test_t2_needs_matching_plaintext(chip):
+    matching = [b"\xaa\xaa" + bytes(14)]
+    random = [b"\x01\x02" + bytes(14)]
+    armed = chip.run_trace(matching, active={"T2"})
+    unarmed = chip.run_trace(random, active={"T2"})
+    assert armed.trojan.sum() > 10 * unarmed.trojan.sum()
+
+
+def test_scenario_labels(chip):
+    assert chip.run_trace(PLAINTEXTS, idle=True).scenario == "idle"
+    assert chip.run_trace(PLAINTEXTS).scenario == "baseline"
+    assert chip.run_trace(PLAINTEXTS, active={"T1"}).scenario == "T1"
+
+
+def test_unknown_trojan_rejected(chip):
+    with pytest.raises(WorkloadError):
+        chip.run_trace(PLAINTEXTS, active={"T7"})
+
+
+def test_activity_is_data_dependent(chip):
+    a = chip.run_trace([bytes(16)], active=set())
+    b = chip.run_trace([b"\xff" * 16], active=set())
+    assert not np.allclose(a.main, b.main)
+
+
+def test_records_are_deterministic(chip):
+    a = chip.run_trace(PLAINTEXTS, active={"T1"})
+    b = chip.run_trace(PLAINTEXTS, active={"T1"})
+    assert np.array_equal(a.main, b.main)
+    assert np.array_equal(a.trojan, b.trojan)
+
+
+def test_make_trojans_configuration(chip):
+    trojans = chip.make_trojans({"T1", "T3"})
+    by_name = {t.name: t for t in trojans}
+    assert by_name["T1"].enabled and by_name["T3"].enabled
+    assert not by_name["T2"].enabled and not by_name["T4"].enabled
+    # T1 is parked at its terminal count so the burst starts at once.
+    assert by_name["T1"].start_count == 0x1FFFFF
+
+
+def test_key_must_be_16_bytes():
+    with pytest.raises(WorkloadError):
+        AesTestChip(b"short", SimConfig())

@@ -1,0 +1,93 @@
+"""Trace container and archive I/O."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MeasurementError, TraceIOError
+from repro.traceio import load_traces, save_traces
+from repro.traces import Trace
+
+
+def _trace(label="t", n=256, seed=0):
+    rng = np.random.default_rng(seed)
+    return Trace(
+        samples=rng.normal(size=n),
+        fs=528e6,
+        label=label,
+        scenario="baseline",
+        meta={"trace_index": seed},
+    )
+
+
+def test_trace_properties():
+    trace = _trace(n=528)
+    assert trace.n_samples == 528
+    assert trace.duration == pytest.approx(528 / 528e6)
+    assert trace.time()[1] == pytest.approx(1 / 528e6)
+    assert trace.rms() > 0
+
+
+def test_trace_validation():
+    with pytest.raises(MeasurementError):
+        Trace(samples=np.array([1.0]), fs=1e6)
+    with pytest.raises(MeasurementError):
+        Trace(samples=np.zeros(16), fs=-1.0)
+
+
+def test_with_label():
+    renamed = _trace(label="a").with_label("b")
+    assert renamed.label == "b"
+    assert renamed.scenario == "baseline"
+
+
+def test_save_load_roundtrip(tmp_path):
+    traces = [_trace(label=f"s{i}", seed=i) for i in range(5)]
+    path = save_traces(tmp_path / "archive.npz", traces)
+    loaded = load_traces(path)
+    assert len(loaded) == 5
+    for original, restored in zip(traces, loaded):
+        assert np.array_equal(original.samples, restored.samples)
+        assert restored.label == original.label
+        assert restored.scenario == original.scenario
+        assert restored.meta == original.meta
+
+
+def test_save_appends_npz_suffix(tmp_path):
+    path = save_traces(tmp_path / "noext", [_trace()])
+    assert path.suffix == ".npz"
+    assert path.exists()
+
+
+def test_empty_archive_rejected(tmp_path):
+    with pytest.raises(TraceIOError):
+        save_traces(tmp_path / "x.npz", [])
+
+
+def test_missing_file_rejected(tmp_path):
+    with pytest.raises(TraceIOError):
+        load_traces(tmp_path / "nothing.npz")
+
+
+def test_foreign_npz_rejected(tmp_path):
+    path = tmp_path / "foreign.npz"
+    np.savez(path, data=np.ones(4))
+    with pytest.raises(TraceIOError):
+        load_traces(path)
+
+
+def test_unserializable_meta_rejected(tmp_path):
+    bad = Trace(
+        samples=np.zeros(16),
+        fs=1e6,
+        meta={"bad": object()},
+    )
+    with pytest.raises(TraceIOError):
+        save_traces(tmp_path / "bad.npz", [bad])
+
+
+def test_real_psa_traces_roundtrip(tmp_path, psa, records):
+    traces = psa.measure_all(records["T1"][0])[:4]
+    path = save_traces(tmp_path / "psa.npz", traces)
+    loaded = load_traces(path)
+    assert loaded[0].label == "psa_sensor_0"
+    assert np.array_equal(loaded[3].samples, traces[3].samples)

@@ -1,0 +1,183 @@
+"""Trojan trigger and payload models."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.trojans.base import SIDEBAND_BLOCK_HARMONIC, CycleContext, block_pattern
+from repro.trojans.catalog import TROJAN_CATALOG, make_trojan, standard_trojans
+from repro.trojans.t1_am_carrier import T1_TERMINAL, T1AmCarrier
+from repro.trojans.t2_leakage import T2KeyLeakInverters
+from repro.trojans.t3_cdma import PN_PERIOD, PN_SEQUENCE, T3CdmaLeaker
+from repro.trojans.t4_dos import T4DosHeater
+
+
+def _ctx(cycle=0, plaintext=b"\x00" * 16, key_hd=64, aes_norm=0.5):
+    return CycleContext(
+        cycle=cycle,
+        block=cycle // 11,
+        phase=cycle % 11,
+        block_cycles=11,
+        time_s=cycle / 33e6,
+        plaintext=plaintext,
+        key_hd=key_hd,
+        aes_norm=aes_norm,
+    )
+
+
+def test_block_pattern_concentrates_fifth_harmonic():
+    """The burst pattern's discrete spectrum peaks at harmonic 5."""
+    pattern = np.array([block_pattern(p, 11) for p in range(11)])
+    spectrum = np.abs(np.fft.rfft(pattern - pattern.mean()))
+    assert int(np.argmax(spectrum[1:])) + 1 == SIDEBAND_BLOCK_HARMONIC
+
+
+def test_t1_counter_period_matches_paper():
+    """0x1FFFFF terminal at 33 MHz -> ~63.6 ms activation period."""
+    period_s = (T1_TERMINAL + 1) / 33e6
+    assert period_s == pytest.approx(63.6e-3, rel=0.01)
+
+
+def test_t1_fires_at_terminal_count():
+    trojan = T1AmCarrier(enabled=True, start_count=T1_TERMINAL, burst_cycles=100)
+    assert trojan.is_active(_ctx(cycle=0))
+    assert trojan.is_active(_ctx(cycle=99))
+    assert not trojan.is_active(_ctx(cycle=100))
+
+
+def test_t1_never_fires_when_disabled():
+    trojan = T1AmCarrier(enabled=False, start_count=T1_TERMINAL)
+    assert not any(trojan.is_active(_ctx(cycle=c)) for c in range(200))
+
+
+def test_t1_payload_carries_750khz_envelope():
+    trojan = T1AmCarrier(enabled=True, start_count=T1_TERMINAL)
+    # Payload at the carrier's peak vs trough (same block phase).
+    quarter = int(33e6 / 750e3 / 4)
+    cycles = [11 * (quarter // 11), 11 * ((3 * quarter) // 11)]
+    peaks = [trojan.payload_toggles(_ctx(cycle=c)) for c in cycles]
+    assert max(peaks) > 2 * min(peaks) or min(peaks) == 0.0
+
+
+def test_t1_out_of_order_cycles_rejected():
+    trojan = T1AmCarrier(enabled=True)
+    trojan.is_active(_ctx(cycle=10))
+    with pytest.raises(WorkloadError):
+        trojan.is_active(_ctx(cycle=5))
+    trojan.reset()
+    assert not trojan.is_active(_ctx(cycle=0))
+
+
+def test_t2_trigger_condition():
+    trojan = T2KeyLeakInverters(enabled=True)
+    assert trojan.is_active(_ctx(plaintext=b"\xaa\xaa" + b"\x00" * 14))
+    assert not trojan.is_active(_ctx(plaintext=b"\xaa\xab" + b"\x00" * 14))
+    assert not trojan.is_active(_ctx(plaintext=b"\x00" * 16))
+
+
+def test_t2_payload_scales_with_key_hd():
+    trojan = T2KeyLeakInverters(enabled=True)
+    ctx_lo = _ctx(cycle=1, plaintext=b"\xaa\xaa" + b"\x00" * 14, key_hd=16)
+    ctx_hi = _ctx(cycle=1, plaintext=b"\xaa\xaa" + b"\x00" * 14, key_hd=64)
+    assert trojan.payload_toggles(ctx_hi) == pytest.approx(
+        4 * trojan.payload_toggles(ctx_lo)
+    )
+
+
+def test_pn_sequence_is_maximal():
+    assert len(PN_SEQUENCE) == PN_PERIOD == 63
+    assert sum(PN_SEQUENCE) == 32  # balanced m-sequence: 32 ones, 31 zeros
+    # The sequence must not be constant or short-period.
+    for period in (1, 3, 7, 9, 21):
+        assert PN_SEQUENCE != PN_SEQUENCE[period:] + PN_SEQUENCE[:period]
+
+
+def test_t3_chip_stream_follows_pn():
+    trojan = T3CdmaLeaker(enabled=True, key=b"\x00" * 16, chip_cycles=22)
+    chips = [trojan.chip_value(c * 22) for c in range(PN_PERIOD)]
+    assert chips == PN_SEQUENCE  # key bit 0 -> chip = pn
+
+
+def test_t3_key_bit_inverts_chips():
+    key_one = b"\x01" + b"\x00" * 15  # first key bit = 1
+    trojan = T3CdmaLeaker(enabled=True, key=key_one, chip_cycles=22)
+    chips = [trojan.chip_value(c * 22) for c in range(PN_PERIOD)]
+    assert chips == [1 - bit for bit in PN_SEQUENCE]
+
+
+def test_t3_payload_gated_by_chip():
+    trojan = T3CdmaLeaker(enabled=True, key=b"\x00" * 16)
+    active = [
+        trojan.payload_toggles(_ctx(cycle=c)) for c in range(0, 22 * 8, 22)
+    ]
+    assert any(v == 0.0 for v in active)
+    assert any(v > 0.0 for v in active)
+
+
+def test_t4_droop_modulation():
+    trojan = T4DosHeater(enabled=True, droop_coupling=0.3)
+    quiet = trojan.payload_toggles(_ctx(aes_norm=0.0))
+    busy = trojan.payload_toggles(_ctx(aes_norm=1.0))
+    assert quiet == pytest.approx(trojan.n_cells * trojan.ro_toggle_rate)
+    assert busy == pytest.approx(quiet * 0.7)
+
+
+def test_t4_default_droop_detectable():
+    """The default coupling leaves a clear AES-correlated ripple."""
+    trojan = T4DosHeater(enabled=True)
+    quiet = trojan.payload_toggles(_ctx(aes_norm=0.0))
+    busy = trojan.payload_toggles(_ctx(aes_norm=1.0))
+    assert (quiet - busy) / quiet == pytest.approx(
+        trojan.droop_coupling, rel=1e-9
+    )
+
+
+def test_always_on_flags():
+    assert not T1AmCarrier().always_on
+    assert not T2KeyLeakInverters().always_on
+    assert T3CdmaLeaker().always_on
+    assert T4DosHeater().always_on
+
+
+def test_clock_phases():
+    """T4's power virus is main-clock synchronous; the rest strobe on
+    the inverted clock."""
+    assert T4DosHeater().clock_phase == "rising"
+    for trojan in (T1AmCarrier(), T2KeyLeakInverters(), T3CdmaLeaker()):
+        assert trojan.clock_phase == "falling"
+
+
+def test_inactive_trojans_still_tick():
+    """Trigger circuits keep a tiny, nonzero footprint when inactive."""
+    for trojan in standard_trojans():
+        toggles = trojan.toggles(_ctx(cycle=0))
+        assert 0.0 < toggles < 10.0
+
+
+def test_catalog_matches_table2():
+    assert set(TROJAN_CATALOG) == {"T1", "T2", "T3", "T4"}
+    assert TROJAN_CATALOG["T3"].n_cells == 329
+    assert TROJAN_CATALOG["T1"].trigger.startswith("21-bit counter")
+
+
+def test_make_trojan_factory():
+    trojan = make_trojan("T4", enabled=True)
+    assert isinstance(trojan, T4DosHeater)
+    assert trojan.enabled
+    with pytest.raises(WorkloadError):
+        make_trojan("T9")
+
+
+def test_parameter_validation():
+    with pytest.raises(WorkloadError):
+        T1AmCarrier(start_count=-1)
+    with pytest.raises(WorkloadError):
+        T1AmCarrier(burst_cycles=0)
+    with pytest.raises(WorkloadError):
+        T2KeyLeakInverters(payload_fraction=0.0)
+    with pytest.raises(WorkloadError):
+        T3CdmaLeaker(key=b"\x00" * 8)
+    with pytest.raises(WorkloadError):
+        T4DosHeater(droop_coupling=1.5)
