@@ -1,0 +1,172 @@
+"""Engine throughput: batched rendering vs. the legacy per-trace loop.
+
+Times a 16-sensor x 256-trace campaign through (a) the seed's
+per-trace render sequence (EMF convolution + noise + amplifier, one
+sensor-trace at a time) and (b) one batched engine render, then checks
+the ``process`` backend shards a 1024-trace batch across two workers
+with output identical to ``serial``.  Results are written to
+``BENCH_engine.json`` at the repo root so the performance trajectory
+is tracked from PR to PR.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import replace
+from pathlib import Path
+
+import numpy as np
+
+from repro.em.coupling import emf_waveforms
+from repro.em.noise import NoiseModel
+from repro.engine import MeasurementEngine, ProcessBackend
+from repro.rng import stream
+from repro.workloads.scenarios import scenario_by_name
+
+#: Campaign shape of the headline comparison.
+N_SENSORS = 16
+N_TRACES = 256
+#: Distinct activity records cycled through the campaign (record
+#: synthesis is not part of the rendering path being measured).
+N_UNIQUE_RECORDS = 32
+#: Trace count of the process-backend scaling check (monitor sensor).
+N_PROCESS_TRACES = 1024
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
+
+
+def _legacy_render_all(psa, record, trace_index):
+    """The seed's per-trace path: one EMF synthesis per call, then a
+    per-sensor noise + amplify sequence (kept here as the reference
+    implementation the engine replaced)."""
+    config = psa.config
+    emf = emf_waveforms(psa.coupling, record)
+    traces = []
+    for index in range(N_SENSORS):
+        coil = psa.sensor_coils[index]
+        receiver = coil.to_receiver(config.vdd, config.temperature_c)
+        noise_model = NoiseModel(
+            resistance=receiver.r_series,
+            temperature_c=config.temperature_c,
+            ambient_area=receiver.ambient_gain,
+        )
+        tag = f"{record.scenario}/{coil.name}/{trace_index}"
+        sensor_noise = noise_model.sample(
+            config.n_samples, config.fs, stream(config.seed, f"noise/{tag}")
+        )
+        traces.append(
+            psa.amplifier.amplify(
+                emf[index] + sensor_noise,
+                config.fs,
+                rng=stream(config.seed, f"amp/{tag}"),
+                source_impedance=receiver.r_series,
+            )
+        )
+    return traces
+
+
+def test_engine_throughput(ctx, benchmark):
+    psa = ctx.psa
+    campaign = ctx.campaign
+    scenario = scenario_by_name("baseline")
+    unique = [campaign.record(scenario, i) for i in range(N_UNIQUE_RECORDS)]
+    records = [unique[i % N_UNIQUE_RECORDS] for i in range(N_TRACES)]
+    indices = list(range(N_TRACES))
+    # The seed had no low-rank activity factors — its per-trace loop
+    # paid the dense region matmul inside emf_waveforms — so the legacy
+    # reference renders from factor-stripped records.
+    legacy_unique = [replace(record, factors=None) for record in unique]
+    legacy_records = [
+        legacy_unique[i % N_UNIQUE_RECORDS] for i in range(N_TRACES)
+    ]
+
+    # Warm both paths (kernel spectra, gain curves, allocator arenas).
+    _legacy_render_all(psa, legacy_records[0], 0)
+    psa.render(records, trace_indices=indices)
+
+    start = time.perf_counter()
+    for index in indices:
+        _legacy_render_all(psa, legacy_records[index], index)
+    legacy_seconds = time.perf_counter() - start
+
+    # The batched render is short enough that scheduler noise on a
+    # shared host can double a single measurement; take the best of
+    # three (the long legacy loop self-averages over 256 iterations).
+    batch = benchmark.pedantic(
+        lambda: psa.render(records, trace_indices=indices),
+        rounds=1,
+        iterations=1,
+    )
+    batched_seconds = float("inf")
+    for _ in range(3):
+        start = time.perf_counter()
+        psa.render(records, trace_indices=indices)
+        batched_seconds = min(batched_seconds, time.perf_counter() - start)
+
+    total_traces = N_SENSORS * N_TRACES
+    legacy_tps = total_traces / legacy_seconds
+    batched_tps = total_traces / batched_seconds
+    speedup = batched_tps / legacy_tps
+
+    # Process backend: a 1024-trace batch on the monitor sensor over
+    # two workers, bit-for-bit identical to the serial backend.
+    monitor_records = [
+        unique[i % N_UNIQUE_RECORDS] for i in range(N_PROCESS_TRACES)
+    ]
+    monitor_indices = list(range(N_PROCESS_TRACES))
+    start = time.perf_counter()
+    serial_ref = psa.engine.render(
+        psa.coupling,
+        monitor_records,
+        trace_indices=monitor_indices,
+        receiver_indices=[10],
+    )
+    serial_1024_seconds = time.perf_counter() - start
+    process_engine = MeasurementEngine(
+        ctx.config, amplifier=psa.amplifier, backend=ProcessBackend(2)
+    )
+    start = time.perf_counter()
+    sharded = process_engine.render(
+        psa.coupling,
+        monitor_records,
+        trace_indices=monitor_indices,
+        receiver_indices=[10],
+    )
+    process_1024_seconds = time.perf_counter() - start
+    process_identical = bool(
+        np.array_equal(serial_ref.samples, sharded.samples)
+    )
+
+    report = {
+        "workload": {
+            "n_sensors": N_SENSORS,
+            "n_traces": N_TRACES,
+            "n_unique_records": N_UNIQUE_RECORDS,
+            "scenario": "baseline",
+        },
+        "legacy_per_trace": {
+            "seconds": round(legacy_seconds, 3),
+            "traces_per_sec": round(legacy_tps, 1),
+        },
+        "batched_engine": {
+            "seconds": round(batched_seconds, 3),
+            "traces_per_sec": round(batched_tps, 1),
+        },
+        "speedup": round(speedup, 2),
+        "process_backend": {
+            "n_traces": N_PROCESS_TRACES,
+            "n_sensors": 1,
+            "workers": 2,
+            "serial_seconds": round(serial_1024_seconds, 3),
+            "process_seconds": round(process_1024_seconds, 3),
+            "identical_to_serial": process_identical,
+        },
+    }
+    BENCH_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    print()
+    print(json.dumps(report, indent=2))
+
+    assert batch.samples.shape == (N_SENSORS, N_TRACES, psa.config.n_samples)
+    assert process_identical
+    assert speedup >= 5.0, f"batched speedup {speedup:.2f}x below 5x"

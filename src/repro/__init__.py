@@ -31,6 +31,7 @@ from .core.array import ProgrammableSensorArray
 from .core.grid import PsaGrid
 from .core.coil import Coil, synthesize_rect_coil
 from .core.analysis.pipeline import CrossDomainAnalyzer, CrossDomainReport
+from .engine import MeasurementEngine, TraceBatch
 from .instruments.spectrum_analyzer import SpectrumAnalyzer
 from .workloads.campaign import MeasurementCampaign
 from .traceio import load_traces, save_traces
@@ -51,6 +52,8 @@ __all__ = [
     "synthesize_rect_coil",
     "CrossDomainAnalyzer",
     "CrossDomainReport",
+    "MeasurementEngine",
+    "TraceBatch",
     "SpectrumAnalyzer",
     "MeasurementCampaign",
     "load_traces",

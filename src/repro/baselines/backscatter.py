@@ -116,6 +116,11 @@ class BackscatterMethod:
         agreement = float(np.mean(labels == truth))
         accuracy = max(agreement, 1.0 - agreement)
         scores = projected[:, 0]
+        # A principal axis is defined up to sign; orient it so Trojan
+        # activity scores high, matching the one-sided convention of
+        # every other detection statistic.
+        if scores[len(inactive) :].mean() < scores[: len(inactive)].mean():
+            scores = -scores
         return scores[: len(inactive)], scores[len(inactive) :], accuracy
 
     def evaluate(self, n_traces: int = 30) -> MethodReport:

@@ -3,13 +3,14 @@
 The external-probe and single-coil baselines differ from the PSA only
 in their receiver geometry and noise environment; this bench renders an
 :class:`~repro.chip.power.ActivityRecord` into an amplified trace for
-any single receiver, reusing the same EM substrate so the comparison is
-apples to apples.
+any single receiver, routing through the same
+:class:`~repro.engine.MeasurementEngine` as the PSA so the comparison
+is apples to apples (and batched the same way).
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -18,13 +19,12 @@ from ..chip.power import ActivityRecord
 from ..chip.testchip import TestChip
 from ..dsp.transforms import Spectrum
 from ..em.amplifier import MeasurementAmplifier
-from ..em.coupling import CouplingMatrix, Receiver, emf_waveforms
-from ..em.noise import NoiseModel
+from ..em.coupling import CouplingMatrix, Receiver
+from ..engine import MeasurementEngine, TraceBatch
 from ..instruments.spectrum_analyzer import SpectrumAnalyzer
-from ..rng import stream
 from ..traces import Trace
 from ..workloads.campaign import MeasurementCampaign
-from ..workloads.scenarios import reference_for, scenario_by_name
+from ..workloads.scenarios import scenario_by_name
 
 
 class ReceiverBench:
@@ -39,6 +39,9 @@ class ReceiverBench:
     amplifier:
         Front-end (the external probes use the same bench amplifier as
         the PSA's channels, per the shared PCB of Section VI-A).
+    engine:
+        Measurement engine override (defaults to a fresh engine with
+        the chip config's backend selection).
     """
 
     def __init__(
@@ -46,79 +49,81 @@ class ReceiverBench:
         chip: TestChip,
         receiver: Receiver,
         amplifier: MeasurementAmplifier | None = None,
+        engine: Optional[MeasurementEngine] = None,
     ):
         self.chip = chip
         self.receiver = receiver
         self.amplifier = amplifier or MeasurementAmplifier()
         self.analyzer = SpectrumAnalyzer()
+        self.engine = engine or MeasurementEngine(
+            chip.config, amplifier=self.amplifier
+        )
         self.coupling = CouplingMatrix(
             chip.floorplan,
             [receiver],
             points_per_side=48,
             scale=COUPLING_SCALE,
         )
-        self._noise = NoiseModel(
-            resistance=receiver.r_series,
-            temperature_c=chip.config.temperature_c,
-            ambient_area=receiver.ambient_gain,
-        )
 
     def measure(self, record: ActivityRecord, trace_index: int = 0) -> Trace:
-        """Capture one amplified trace from the receiver."""
-        config = self.chip.config
-        emf = emf_waveforms(self.coupling, record)[0]
-        tag = f"{record.scenario}/{self.receiver.name}/{trace_index}"
-        if self.receiver.gain_jitter > 0.0:
-            # Probe repositioning drift between captures.
-            drift_rng = stream(config.seed, f"gain/{tag}")
-            emf = emf * (
-                1.0
-                + self.receiver.gain_jitter * drift_rng.standard_normal()
-            )
-        noise = self._noise.sample(
-            config.n_samples, config.fs, stream(config.seed, f"noise/{tag}")
-        )
-        amplified = self.amplifier.amplify(
-            emf + noise,
-            config.fs,
-            rng=stream(config.seed, f"amp/{tag}"),
-            source_impedance=self.receiver.r_series,
-        )
-        return Trace(
-            samples=amplified,
-            fs=config.fs,
-            label=self.receiver.name,
-            scenario=record.scenario,
-            meta={"trace_index": trace_index},
+        """Capture one amplified trace from the receiver.
+
+        Probe repositioning drift between captures (``gain_jitter``)
+        is applied by the engine from the capture's render stream.
+        """
+        return self.measure_batch([record], [trace_index]).trace(0, 0)
+
+    def measure_batch(
+        self,
+        records: Sequence[ActivityRecord],
+        trace_indices: Optional[Sequence[int]] = None,
+    ) -> TraceBatch:
+        """Render a batch of captures in one engine pass."""
+        return self.engine.render(
+            self.coupling, records, trace_indices=trace_indices
         )
 
     # -- scenario-level collection ------------------------------------------------
+
+    def collect_batch(
+        self,
+        campaign: MeasurementCampaign,
+        scenario_name: str,
+        n_traces: int,
+        index_offset: int = 0,
+    ) -> TraceBatch:
+        """Capture ``n_traces`` of one scenario as one batched render."""
+        scenario = scenario_by_name(scenario_name)
+        indices = [index_offset + i for i in range(n_traces)]
+        records = [campaign.record(scenario, index) for index in indices]
+        return self.measure_batch(records, indices)
 
     def collect(
         self, campaign: MeasurementCampaign, scenario_name: str, n_traces: int,
         index_offset: int = 0,
     ) -> List[Trace]:
         """Capture ``n_traces`` of one scenario with fresh workloads."""
-        scenario = scenario_by_name(scenario_name)
-        traces = []
-        for index in range(n_traces):
-            record = campaign.record(scenario, index_offset + index)
-            traces.append(self.measure(record, trace_index=index_offset + index))
-        return traces
+        batch = self.collect_batch(
+            campaign, scenario_name, n_traces, index_offset
+        )
+        return batch.traces(0)
 
     def spectra(self, traces: Sequence[Trace]) -> List[Spectrum]:
-        """Display spectra of a trace collection."""
-        return [self.analyzer.spectrum(trace) for trace in traces]
+        """Display spectra of a trace collection (one batched pass)."""
+        if not traces:
+            return []
+        stack = np.stack([trace.samples for trace in traces])
+        return self.analyzer.display_spectra(stack, traces[0].fs)
 
     def snr_db(self, campaign: MeasurementCampaign, n_traces: int = 3) -> float:
         """He-style SNR (Equation (1)) of this receiver."""
         from ..dsp.metrics import snr_rms_db
 
-        signal = self.collect(campaign, "baseline", n_traces)
-        noise = self.collect(campaign, "idle", n_traces)
-        signal_rms = np.concatenate([t.samples for t in signal])
-        noise_rms = np.concatenate([t.samples for t in noise])
-        return snr_rms_db(signal_rms, noise_rms)
+        signal = self.collect_batch(campaign, "baseline", n_traces)
+        noise = self.collect_batch(campaign, "idle", n_traces)
+        return snr_rms_db(
+            signal.samples[0].ravel(), noise.samples[0].ravel()
+        )
 
 
 def euclidean_statistics(

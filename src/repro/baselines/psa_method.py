@@ -1,13 +1,17 @@
-"""The proposed PSA, evaluated under the same Table I protocol."""
+"""The proposed PSA, evaluated under the same Table I protocol.
+
+All trace rendering goes through the PSA's measurement engine (one
+batched render per population) — the per-sensor render loop this file
+once duplicated with :mod:`repro.core.array` lives in
+:class:`repro.engine.MeasurementEngine` now.
+"""
 
 from __future__ import annotations
-
-from typing import List
 
 import numpy as np
 
 from ..chip.testchip import TestChip
-from ..core.analysis.spectral import sideband_feature_db
+from ..core.analysis.spectral import sideband_features_db
 from ..core.array import ProgrammableSensorArray
 from ..dsp.metrics import snr_rms_db
 from ..errors import AnalysisError
@@ -42,37 +46,32 @@ class PsaMethod:
         self.psa = psa or campaign.psa
         self.analyzer = SpectrumAnalyzer()
 
+    def _monitor_batch(
+        self, scenario_name: str, n_traces: int, index_offset: int
+    ):
+        scenario = scenario_by_name(scenario_name)
+        indices = [index_offset + i for i in range(n_traces)]
+        records = [self.campaign.record(scenario, index) for index in indices]
+        return self.psa.render(
+            records, trace_indices=indices, sensors=[MONITOR_SENSOR]
+        )
+
     def _features(
         self, scenario_name: str, n_traces: int, index_offset: int
     ) -> np.ndarray:
-        scenario = scenario_by_name(scenario_name)
-        features: List[float] = []
-        for index in range(n_traces):
-            record = self.campaign.record(scenario, index_offset + index)
-            trace = self.psa.measure(
-                record, MONITOR_SENSOR, trace_index=index_offset + index
-            )
-            features.append(
-                sideband_feature_db(
-                    self.analyzer.spectrum(trace), self.chip.config
-                )
-            )
-        return np.asarray(features)
+        batch = self._monitor_batch(scenario_name, n_traces, index_offset)
+        grid, display = self.analyzer.display_matrix(
+            batch.samples[0], batch.fs
+        )
+        return sideband_features_db(grid, display, self.chip.config)
 
     def snr_db(self, n_traces: int = 3) -> float:
         """He-style SNR of the monitored PSA sensor."""
-        scenario_signal = scenario_by_name("baseline")
-        scenario_idle = scenario_by_name("idle")
-        signal = []
-        noise = []
-        for index in range(n_traces):
-            rec_s = self.campaign.record(scenario_signal, index)
-            rec_n = self.campaign.record(scenario_idle, index)
-            signal.append(
-                self.psa.measure(rec_s, MONITOR_SENSOR, index).samples
-            )
-            noise.append(self.psa.measure(rec_n, MONITOR_SENSOR, index).samples)
-        return snr_rms_db(np.concatenate(signal), np.concatenate(noise))
+        signal = self._monitor_batch("baseline", n_traces, 0)
+        noise = self._monitor_batch("idle", n_traces, 0)
+        return snr_rms_db(
+            signal.samples[0].ravel(), noise.samples[0].ravel()
+        )
 
     def evaluate(self, n_traces: int = 10) -> MethodReport:
         """Run the full per-Trojan evaluation."""

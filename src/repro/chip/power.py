@@ -17,7 +17,7 @@ single convolution.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -102,6 +102,17 @@ class ActivityRecord:
         Label, e.g. ``"idle"``, ``"baseline"``, ``"T1"``.
     meta:
         Free-form extra metadata.
+    factors:
+        Optional low-rank decomposition of the toggle matrices: maps
+        ``"main"`` / ``"trojan"`` / ``"trojan_rising"`` to lists of
+        ``(name, weights, toggles)`` outer-product factors with
+        ``weights`` of shape ``(n_regions,)`` and ``toggles`` of shape
+        ``(n_cycles,)``, such that the dense matrix is (up to float
+        rounding) the sum of ``outer(weights, toggles)`` over its
+        factors.  The chip simulator builds activity exactly this way
+        (one factor per module), and the measurement engine's EMF
+        synthesis exploits it to skip the dense region matmul; dense
+        consumers keep using ``main``/``trojan`` directly.
     """
 
     main: np.ndarray
@@ -110,6 +121,7 @@ class ActivityRecord:
     scenario: str = ""
     meta: Optional[Dict[str, object]] = None
     trojan_rising: Optional[np.ndarray] = None
+    factors: Optional[Dict[str, List[Tuple[str, np.ndarray, np.ndarray]]]] = None
 
     def __post_init__(self) -> None:
         if self.trojan_rising is None:
@@ -124,6 +136,41 @@ class ActivityRecord:
                 f"activity shapes {self.main.shape}/{self.trojan.shape} do "
                 f"not match (n_regions, n_cycles)={expected}"
             )
+
+    # -- compact serialization ----------------------------------------------
+    #
+    # The dense toggle matrices dominate a record's footprint (tens of
+    # MB per record) but are fully determined by the low-rank factors
+    # when those are present.  Pickling therefore ships only the
+    # factors and rebuilds the dense matrices on load, in the same
+    # accumulation order the simulator used — bit-for-bit identical —
+    # which makes sharding record batches across worker processes
+    # cheap.
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        if self.factors is not None:
+            state["main"] = None
+            state["trojan"] = None
+            state["trojan_rising"] = None
+            state["_dense_shape"] = self.main.shape
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        shape = state.pop("_dense_shape", None)
+        self.__dict__.update(state)
+        if shape is not None:
+
+            def _dense(parts) -> np.ndarray:
+                dense = np.zeros(shape)
+                for _name, weights, toggles in parts:
+                    dense += np.outer(weights, toggles)
+                return dense
+
+            factors = self.factors or {}
+            self.main = _dense(factors.get("main", ()))
+            self.trojan = _dense(factors.get("trojan", ()))
+            self.trojan_rising = _dense(factors.get("trojan_rising", ()))
 
     @property
     def n_regions(self) -> int:

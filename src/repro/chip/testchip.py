@@ -69,6 +69,14 @@ class TestChip:
             _hamming(round_keys[p - 1], round_keys[p]) for p in range(1, 11)
         ]
         self._module_weights = self._build_weight_matrix()
+        # The UART datapath spreads evenly over its two modules; built
+        # once so every record shares one weights object (which lets
+        # the engine memoize its coupling projection by identity).
+        self._uart_weights = 0.5 * (
+            self._module_weights["uart_core"]
+            + self._module_weights["uart_fifo"]
+        )
+        self._uart_weights.setflags(write=False)
 
     # -- construction helpers --------------------------------------------------
 
@@ -130,15 +138,17 @@ class TestChip:
 
         n_regions = self.floorplan.n_regions
         main = np.zeros((n_regions, config.n_cycles))
+        main_factors = []
         for module, toggles in core_activity.toggles.items():
-            main += np.outer(self._module_weights[module], toggles)
+            weights = self._module_weights[module]
+            main += np.outer(weights, toggles)
+            main_factors.append((module, weights, np.asarray(toggles, float)))
         if not idle:
-            uart_toggles = self.uart.activity(transmitting=True)
-            uart_weights = 0.5 * (
-                self._module_weights["uart_core"]
-                + self._module_weights["uart_fifo"]
+            uart_toggles = np.asarray(
+                self.uart.activity(transmitting=True), float
             )
-            main += np.outer(uart_weights, uart_toggles)
+            main += np.outer(self._uart_weights, uart_toggles)
+            main_factors.append(("uart", self._uart_weights, uart_toggles))
 
         trojan = np.zeros_like(main)
         trojan_rising = np.zeros_like(main)
@@ -151,8 +161,11 @@ class TestChip:
                 config=config,
                 scenario=scenario if scenario is not None else "idle",
                 meta={"active": (), "idle": True},
+                factors={"main": main_factors},
             )
         trojans = self.make_trojans(active)
+        trojan_factors = []
+        rising_factors = []
         aes_total = main.sum(axis=0)
         aes_peak = float(aes_total.max()) or 1.0
         block_cycles = config.block_cycles
@@ -185,12 +198,21 @@ class TestChip:
                 toggles[cycle] = trj.toggles(ctx)
             if trj.clock_phase == "rising":
                 trojan_rising += np.outer(weights, toggles)
+                if toggles.any():
+                    rising_factors.append((trj.name, weights, toggles))
             else:
                 trojan += np.outer(weights, toggles)
+                if toggles.any():
+                    trojan_factors.append((trj.name, weights, toggles))
 
         label = scenario
         if label is None:
             label = "idle" if idle else ("+".join(sorted(active)) or "baseline")
+        factors = {"main": main_factors}
+        if trojan_factors:
+            factors["trojan"] = trojan_factors
+        if rising_factors:
+            factors["trojan_rising"] = rising_factors
         return ActivityRecord(
             main=main,
             trojan=trojan,
@@ -198,4 +220,5 @@ class TestChip:
             config=config,
             scenario=label,
             meta={"active": tuple(sorted(active)), "idle": idle},
+            factors=factors,
         )

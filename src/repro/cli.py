@@ -4,6 +4,7 @@ Usage::
 
     psa-em table1            # or: python -m repro.cli table1
     psa-em fig4 --traces 5
+    psa-em mttd --backend process --workers 4
     psa-em all
 """
 
@@ -13,6 +14,7 @@ import argparse
 import sys
 from typing import Callable, Dict, List, Optional
 
+from .config import BACKEND_NAMES, SimConfig
 from .experiments.context import ExperimentContext
 
 
@@ -127,13 +129,28 @@ def build_parser() -> argparse.ArgumentParser:
         default=3,
         help="traces per population where applicable (default 3)",
     )
+    parser.add_argument(
+        "--backend",
+        choices=BACKEND_NAMES,
+        default="serial",
+        help="measurement-engine execution backend (default serial)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="worker count for the process backend (0 = auto)",
+    )
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point."""
     args = build_parser().parse_args(argv)
-    ctx = ExperimentContext.build()
+    config = SimConfig().with_(
+        engine_backend=args.backend, engine_workers=args.workers
+    )
+    ctx = ExperimentContext.build(config)
     names = sorted(_COMMANDS) if args.experiment == "all" else [args.experiment]
     for name in names:
         print(f"=== {name} ===")

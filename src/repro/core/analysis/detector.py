@@ -150,6 +150,19 @@ class RuntimeDetector:
         self.decisions.append(decision)
         return decision
 
+    def process_batch(
+        self, features_db: "np.ndarray | List[float]"
+    ) -> List[DetectionDecision]:
+        """Consume a whole feature vector (e.g. one per batch capture).
+
+        The detector's semantics are inherently sequential (each
+        decision conditions the next baseline), so this is an ordered
+        fold over :meth:`update` — it exists so batch producers like
+        the engine-fed pipeline hand their vectorized features over in
+        one call and get the full decision timeline back.
+        """
+        return [self.update(float(feature)) for feature in features_db]
+
     def run(self, features_db: "np.ndarray | List[float]") -> int | None:
         """Stream a feature sequence; returns the first alarm index."""
         for feature in features_db:

@@ -24,7 +24,7 @@ from ...errors import AnalysisError
 from ...instruments.spectrum_analyzer import SpectrumAnalyzer
 from ..array import ProgrammableSensorArray
 from ..sensors import N_SENSORS, quadrant_coil
-from .spectral import sideband_amplitude
+from .spectral import sideband_amplitudes
 
 #: Quadrant labels used by the refinement step.
 QUADRANTS = ("sw", "se", "nw", "ne")
@@ -83,17 +83,26 @@ class Localizer:
     def _sensor_amplitudes(
         self, records: Sequence[ActivityRecord], trace_offset: int = 0
     ) -> np.ndarray:
-        """Mean sideband RMS amplitude [V] per sensor, shape ``(16,)``."""
+        """Mean sideband RMS amplitude [V] per sensor, shape ``(16,)``.
+
+        One engine render covers every (sensor, record) capture; the
+        display spectra and band features are extracted in vectorized
+        passes over the whole batch.
+        """
         if not records:
             raise AnalysisError("no activity records supplied")
         config = self.psa.config
-        amps = np.zeros((len(records), N_SENSORS))
-        for rec_idx, record in enumerate(records):
-            traces = self.psa.measure_all(record, trace_index=trace_offset + rec_idx)
-            for sensor in range(N_SENSORS):
-                spectrum = self.analyzer.spectrum(traces[sensor])
-                amps[rec_idx, sensor] = sideband_amplitude(spectrum, config)
-        return amps.mean(axis=0)
+        batch = self.psa.render(
+            records,
+            trace_indices=[trace_offset + i for i in range(len(records))],
+        )
+        grid, display = self.analyzer.display_matrix(
+            batch.samples.reshape(-1, batch.n_samples), batch.fs
+        )
+        amps = sideband_amplitudes(grid, display, config).reshape(
+            N_SENSORS, len(records)
+        )
+        return amps.mean(axis=1)
 
     def score_map(
         self,
@@ -156,24 +165,28 @@ class Localizer:
         baseline_records: Sequence[ActivityRecord],
         active_records: Sequence[ActivityRecord],
     ) -> Dict[str, float]:
-        """Reprogram quadrant coils and score them."""
+        """Reprogram quadrant coils and score them.
+
+        Each quadrant coil is programmed once and measured over both
+        populations in a single batched render.
+        """
         config = self.psa.config
+        n_base = len(baseline_records)
+        records = list(baseline_records) + list(active_records)
+        indices = list(range(n_base)) + [
+            2000 + i for i in range(len(active_records))
+        ]
         scores: Dict[str, float] = {}
         for which in QUADRANTS:
             coil = quadrant_coil(sensor_index, which)
-            base_amps: List[float] = []
-            act_amps: List[float] = []
-            for rec_idx, record in enumerate(baseline_records):
-                trace = self.psa.measure_coil(coil, record, trace_index=rec_idx)
-                base_amps.append(
-                    sideband_amplitude(self.analyzer.spectrum(trace), config)
-                )
-            for rec_idx, record in enumerate(active_records):
-                trace = self.psa.measure_coil(
-                    coil, record, trace_index=2000 + rec_idx
-                )
-                act_amps.append(
-                    sideband_amplitude(self.analyzer.spectrum(trace), config)
-                )
-            scores[which] = float(np.mean(act_amps) - np.mean(base_amps))
+            batch = self.psa.measure_coil_batch(
+                coil, records, trace_indices=indices
+            )
+            grid, display = self.analyzer.display_matrix(
+                batch.samples[0], batch.fs
+            )
+            amps = sideband_amplitudes(grid, display, config)
+            scores[which] = float(
+                np.mean(amps[n_base:]) - np.mean(amps[:n_base])
+            )
         return scores

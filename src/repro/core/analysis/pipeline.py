@@ -15,6 +15,7 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from ...chip.testchip import TestChip
+from ...dsp.transforms import average_spectra
 from ...errors import AnalysisError
 from ...instruments.spectrum_analyzer import SpectrumAnalyzer
 from ...traces import Trace
@@ -28,6 +29,7 @@ from .mttd import MttdModel, MttdResult, mttd_from_alarm
 from .spectral import (
     find_prominent_components,
     sideband_feature_db,
+    sideband_features_db,
     sideband_frequencies,
 )
 
@@ -114,30 +116,44 @@ class CrossDomainAnalyzer:
             self.analyzer.spectrum(trace), self.chip.config
         )
 
+    def _monitor_batch(
+        self, records: List, trace_indices: List[int]
+    ) -> Tuple[np.ndarray, "object"]:
+        """Render captures of the monitor sensor; features + batch."""
+        batch = self.psa.render(
+            records,
+            trace_indices=trace_indices,
+            sensors=[self.monitor_sensor],
+        )
+        grid, display = self.analyzer.display_matrix(
+            batch.samples[0], batch.fs
+        )
+        features = sideband_features_db(grid, display, self.chip.config)
+        return features, batch
+
     def monitor_stream(
         self, scenario_name: str, n_baseline: int, n_active: int
     ) -> Tuple[List[float], List[Trace], int]:
         """Build the runtime stream: baseline traces, then activation.
 
-        Returns ``(features, active_traces, trigger_index)``.
+        The whole stream (pre- and post-activation) is rendered as one
+        engine batch on the monitor sensor and featurized in a single
+        vectorized pass.  Returns ``(features, active_traces,
+        trigger_index)``.
         """
         reference = reference_for(scenario_name)
-        features: List[float] = []
-        for index, record in enumerate(
-            [self.campaign.record(reference, i) for i in range(n_baseline)]
-        ):
-            trace = self.psa.measure(record, self.monitor_sensor, index)
-            features.append(self._feature(trace))
         scenario = scenario_by_name(scenario_name)
-        active_traces: List[Trace] = []
-        for index in range(n_active):
-            record = self.campaign.record(scenario, 500 + index)
-            trace = self.psa.measure(
-                record, self.monitor_sensor, trace_index=500 + index
-            )
-            active_traces.append(trace)
-            features.append(self._feature(trace))
-        return features, active_traces, n_baseline
+        records = [
+            self.campaign.record(reference, i) for i in range(n_baseline)
+        ] + [self.campaign.record(scenario, 500 + i) for i in range(n_active)]
+        indices = list(range(n_baseline)) + [
+            500 + i for i in range(n_active)
+        ]
+        features, batch = self._monitor_batch(records, indices)
+        active_traces = [
+            batch.trace(0, n_baseline + index) for index in range(n_active)
+        ]
+        return list(features), active_traces, n_baseline
 
     # -- the full flow -----------------------------------------------------------------
 
@@ -179,22 +195,22 @@ class CrossDomainAnalyzer:
         )
 
         # Frequency-domain stage: prominent components from 5-trace
-        # averaged spectra (the paper's display setting).
+        # averaged spectra (the paper's display setting).  Both
+        # populations render as one engine batch on the monitor sensor.
         reference = reference_for(scenario_name)
         base_records = [self.campaign.record(reference, 100 + i) for i in range(5)]
         act_records = [self.campaign.record(scenario, 600 + i) for i in range(5)]
-        base_avg = self.analyzer.average_spectrum(
-            [
-                self.psa.measure(rec, self.monitor_sensor, 100 + i)
-                for i, rec in enumerate(base_records)
-            ]
+        display_batch = self.psa.render(
+            base_records + act_records,
+            trace_indices=[100 + i for i in range(5)]
+            + [600 + i for i in range(5)],
+            sensors=[self.monitor_sensor],
         )
-        act_avg = self.analyzer.average_spectrum(
-            [
-                self.psa.measure(rec, self.monitor_sensor, 600 + i)
-                for i, rec in enumerate(act_records)
-            ]
+        spectra = self.analyzer.display_spectra(
+            display_batch.samples[0], display_batch.fs
         )
+        base_avg = average_spectra(spectra[:5])
+        act_avg = average_spectra(spectra[5:])
         prominent = find_prominent_components(
             act_avg, base_avg, self.chip.config
         )

@@ -85,6 +85,47 @@ def sideband_amplitude(
     )
 
 
+def sideband_amplitudes(
+    freqs: np.ndarray,
+    amps: np.ndarray,
+    config: SimConfig,
+    halfwidth: float = 250e3,
+) -> np.ndarray:
+    """Batched :func:`sideband_amplitude` over an amplitude stack.
+
+    ``amps`` is ``(n_spectra, n_points)`` on a shared frequency axis
+    (e.g. one display grid per rendered capture); the band masks are
+    computed once.  Row ``i`` equals ``sideband_amplitude`` of the
+    corresponding :class:`Spectrum`.
+    """
+    amps = np.asarray(amps, dtype=float)
+    if amps.ndim != 2:
+        raise AnalysisError("sideband_amplitudes expects a 2-D stack")
+    lower, upper = sideband_frequencies(config)
+    total = np.zeros(amps.shape[0])
+    for freq in (lower, upper):
+        mask = np.abs(freqs - freq) <= halfwidth
+        if not mask.any():
+            raise AnalysisError(
+                f"no spectrum bins within {halfwidth/1e3:.0f} kHz of "
+                f"{freq/1e6:.1f} MHz"
+            )
+        total += amps[:, mask].max(axis=1) ** 2
+    return np.sqrt(0.5 * total)
+
+
+def sideband_features_db(
+    freqs: np.ndarray,
+    amps: np.ndarray,
+    config: SimConfig,
+    halfwidth: float = 250e3,
+) -> np.ndarray:
+    """Batched :func:`sideband_feature_db` over an amplitude stack."""
+    sb = sideband_amplitudes(freqs, amps, config, halfwidth)
+    floor = np.finfo(float).tiny
+    return 20.0 * np.log10(np.maximum(sb, floor) / 1e-6)
+
+
 def sideband_feature_db(
     spectrum: Spectrum,
     config: SimConfig,

@@ -4,6 +4,11 @@ Couples the lattice/coil model to the EM substrate: given an
 :class:`~repro.chip.power.ActivityRecord` from the test chip, the PSA
 renders amplified, noisy voltage traces for any programmed sensor —
 the 16 standard sensors of Section V-A or ad-hoc refinement coils.
+
+All rendering routes through one :class:`~repro.engine.MeasurementEngine`:
+``measure``/``measure_all``/``measure_coil`` are thin single-capture
+wrappers around the same batched path used by :meth:`render`, so
+per-trace and batched output are identical bit-for-bit.
 """
 
 from __future__ import annotations
@@ -16,10 +21,9 @@ from ..calibration import COUPLING_SCALE
 from ..chip.power import ActivityRecord
 from ..chip.testchip import TestChip
 from ..em.amplifier import MeasurementAmplifier
-from ..em.coupling import CouplingMatrix, Receiver, emf_waveforms
-from ..em.noise import NoiseModel
+from ..em.coupling import CouplingMatrix
+from ..engine import MeasurementEngine, TraceBatch
 from ..errors import MeasurementError
-from ..rng import stream
 from ..traces import Trace
 from .coil import Coil
 from .decoder import PsaDecoder
@@ -43,6 +47,9 @@ class ProgrammableSensorArray:
         Measurement front-end (defaults to the THS4504 model).
     coupling_scale:
         Absolute coupling calibration (see :mod:`repro.calibration`).
+    engine:
+        Measurement engine override (defaults to a fresh engine using
+        the chip config's backend selection).
     """
 
     def __init__(
@@ -52,6 +59,7 @@ class ProgrammableSensorArray:
         points_per_side: int = 48,
         amplifier: Optional[MeasurementAmplifier] = None,
         coupling_scale: float = COUPLING_SCALE,
+        engine: Optional[MeasurementEngine] = None,
     ):
         self.chip = chip
         self.config = chip.config
@@ -60,6 +68,9 @@ class ProgrammableSensorArray:
         self.amplifier = amplifier or MeasurementAmplifier()
         self.coupling_scale = coupling_scale
         self.points_per_side = points_per_side
+        self.engine = engine or MeasurementEngine(
+            chip.config, amplifier=self.amplifier
+        )
         self.sensor_coils: List[Coil] = [
             standard_sensor_coil(index, turns) for index in range(N_SENSORS)
         ]
@@ -88,7 +99,59 @@ class ProgrammableSensorArray:
             raise MeasurementError(f"sensor index {index} outside 0..15")
         return self.sensor_coils[index]
 
-    # -- measurement -----------------------------------------------------------
+    # -- batched measurement ---------------------------------------------------
+
+    def render(
+        self,
+        records: Sequence[ActivityRecord],
+        trace_indices: Optional[Sequence[int]] = None,
+        sensors: Optional[Sequence[int]] = None,
+    ) -> TraceBatch:
+        """Render a batch of captures from the standard sensors.
+
+        Parameters
+        ----------
+        records:
+            One activity record per capture, or a single record reused
+            for every capture (independent noise per trace index).
+        trace_indices:
+            RNG stream index per capture (defaults to ``0..n-1``).
+        sensors:
+            Sensor indices to render (default: all 16).
+        """
+        if sensors is not None:
+            for index in sensors:
+                if not 0 <= index < N_SENSORS:
+                    raise MeasurementError(
+                        f"sensor index {index} outside 0..15"
+                    )
+        return self.engine.render(
+            self._coupling,
+            records,
+            trace_indices=trace_indices,
+            receiver_indices=sensors,
+        )
+
+    def measure_coil_batch(
+        self,
+        coil: Coil,
+        records: Sequence[ActivityRecord],
+        trace_indices: Optional[Sequence[int]] = None,
+    ) -> TraceBatch:
+        """Render a batch of captures from an ad-hoc programmed coil.
+
+        The coil is programmed onto the lattice for the duration of the
+        render (ownership-checked) and released afterwards.
+        """
+        coil.program(self.grid)
+        try:
+            return self.engine.render(
+                self._coupling_for(coil), records, trace_indices=trace_indices
+            )
+        finally:
+            coil.release(self.grid)
+
+    # -- single-capture wrappers -----------------------------------------------
 
     def measure_all(
         self, record: ActivityRecord, trace_index: int = 0
@@ -98,18 +161,8 @@ class ProgrammableSensorArray:
         Noise realizations are independent per sensor and per
         ``trace_index`` but fully reproducible for a given config seed.
         """
-        emf = emf_waveforms(self._coupling, record)
-        traces = []
-        for index in range(N_SENSORS):
-            traces.append(
-                self._render(
-                    emf[index],
-                    self.sensor_coils[index],
-                    record,
-                    trace_index,
-                )
-            )
-        return traces
+        batch = self.render([record], trace_indices=[trace_index])
+        return [batch.trace(index, 0) for index in range(N_SENSORS)]
 
     def measure(
         self, record: ActivityRecord, sensor_index: int, trace_index: int = 0
@@ -124,29 +177,19 @@ class ProgrammableSensorArray:
         self.decoder.select(sensor_index)
         if self.decoder.selected() != sensor_index:
             raise MeasurementError("decoder selection mismatch")
-        emf = emf_waveforms(self._coupling, record)
-        return self._render(
-            emf[sensor_index],
-            self.sensor_coils[sensor_index],
-            record,
-            trace_index,
+        batch = self.render(
+            [record], trace_indices=[trace_index], sensors=[sensor_index]
         )
+        return batch.trace(0, 0)
 
     def measure_coil(
         self, coil: Coil, record: ActivityRecord, trace_index: int = 0
     ) -> Trace:
-        """Capture one trace from an ad-hoc programmed coil.
-
-        The coil is programmed onto the lattice for the duration of the
-        measurement (ownership-checked) and released afterwards.
-        """
-        coil.program(self.grid)
-        try:
-            coupling = self._coupling_for(coil)
-            emf = emf_waveforms(coupling, record)
-            return self._render(emf[0], coil, record, trace_index)
-        finally:
-            coil.release(self.grid)
+        """Capture one trace from an ad-hoc programmed coil."""
+        batch = self.measure_coil_batch(
+            coil, [record], trace_indices=[trace_index]
+        )
+        return batch.trace(0, 0)
 
     # -- internals -------------------------------------------------------------
 
@@ -162,39 +205,3 @@ class ProgrammableSensorArray:
             )
             self._custom_couplings[key] = cached
         return cached
-
-    def _render(
-        self,
-        emf: np.ndarray,
-        coil: Coil,
-        record: ActivityRecord,
-        trace_index: int,
-    ) -> Trace:
-        config = self.config
-        receiver = coil.to_receiver(config.vdd, config.temperature_c)
-        noise_model = NoiseModel(
-            resistance=receiver.r_series,
-            temperature_c=config.temperature_c,
-            ambient_area=receiver.ambient_gain,
-        )
-        tag = f"{record.scenario}/{coil.name}/{trace_index}"
-        sensor_noise = noise_model.sample(
-            config.n_samples, config.fs, stream(config.seed, f"noise/{tag}")
-        )
-        amplified = self.amplifier.amplify(
-            emf + sensor_noise,
-            config.fs,
-            rng=stream(config.seed, f"amp/{tag}"),
-            source_impedance=receiver.r_series,
-        )
-        return Trace(
-            samples=amplified,
-            fs=config.fs,
-            label=coil.name,
-            scenario=record.scenario,
-            meta={
-                "trace_index": trace_index,
-                "r_series": receiver.r_series,
-                "turns": coil.n_turns,
-            },
-        )

@@ -8,15 +8,18 @@ detection statistics, and from-scratch PCA / K-means implementations
 
 from .transforms import (
     Spectrum,
+    amplitude_spectra,
     amplitude_spectrum,
     average_spectra,
     band_slice,
+    resample_spectra,
     resample_spectrum,
     spectrum_dbuv,
 )
 from .filters import (
     analytic_bandpass,
     apply_transfer,
+    apply_transfer_batch,
     butter_highpass_response,
     butter_lowpass_response,
     envelope_lowpass,
@@ -38,13 +41,16 @@ from .kmeans import KMeans, KMeansResult
 
 __all__ = [
     "Spectrum",
+    "amplitude_spectra",
     "amplitude_spectrum",
     "average_spectra",
     "band_slice",
+    "resample_spectra",
     "resample_spectrum",
     "spectrum_dbuv",
     "analytic_bandpass",
     "apply_transfer",
+    "apply_transfer_batch",
     "butter_highpass_response",
     "butter_lowpass_response",
     "envelope_lowpass",

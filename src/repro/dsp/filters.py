@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import Callable
 
 import numpy as np
+from scipy import fft as scipy_fft
 
 from ..errors import AnalysisError
 
@@ -35,15 +36,33 @@ def apply_transfer(samples: np.ndarray, fs: float, transfer: TransferFn) -> np.n
     samples = np.asarray(samples, dtype=float)
     if samples.ndim != 1:
         raise AnalysisError("apply_transfer expects a 1-D trace")
-    spec = np.fft.rfft(samples)
-    freqs = np.fft.rfftfreq(samples.size, d=1.0 / fs)
+    return apply_transfer_batch(samples[None, :], fs, transfer)[0]
+
+
+def apply_transfer_batch(
+    samples: np.ndarray, fs: float, transfer: TransferFn
+) -> np.ndarray:
+    """Filter a stack of real traces, shape ``(n_traces, n_samples)``.
+
+    The transfer function is evaluated once and every trace is
+    filtered in a single batched rFFT/irFFT pair — per-row results are
+    identical whether traces are filtered one at a time or together
+    (pocketfft processes rows independently).
+    """
+    samples = np.asarray(samples, dtype=float)
+    if samples.ndim != 2:
+        raise AnalysisError("apply_transfer_batch expects a 2-D trace stack")
+    n = samples.shape[1]
+    spec = scipy_fft.rfft(samples, axis=-1)
+    freqs = scipy_fft.rfftfreq(n, d=1.0 / fs)
     gain = np.asarray(transfer(freqs))
     if gain.shape != freqs.shape:
         raise AnalysisError(
             "transfer function returned wrong shape "
             f"{gain.shape}, expected {freqs.shape}"
         )
-    return np.fft.irfft(spec * gain, n=samples.size)
+    spec *= gain
+    return scipy_fft.irfft(spec, n=n, axis=-1)
 
 
 def butter_lowpass_response(f_cut: float, order: int) -> TransferFn:

@@ -64,14 +64,18 @@ def required_measurements(
     """Two-sample z-approximation of the per-population sample size.
 
     ``n = ((z_{1-alpha} + z_{power}) / d)^2`` (one-sided), clamped to at
-    least 1.  An effect size of zero returns a sentinel large count.
+    least 1.  Every detection statistic in this reproduction alarms on
+    an *increase* (added spectral energy, larger distance to the
+    reference), so the analysis is one-sided: a non-positive measured
+    effect cannot reach the target power at any sample size and
+    returns the same sentinel large count as a zero effect.
     """
     if not 0.0 < alpha < 1.0:
         raise AnalysisError(f"alpha must be in (0,1), got {alpha}")
     if not 0.0 < power < 1.0:
         raise AnalysisError(f"power must be in (0,1), got {power}")
-    d = abs(effect_size)
-    if d == 0.0:
+    d = float(effect_size)
+    if d <= 0.0:
         return 10**9
     if math.isinf(d):
         return 1

@@ -76,20 +76,36 @@ def amplitude_spectrum(samples: np.ndarray, fs: float) -> Spectrum:
     samples = np.asarray(samples, dtype=float)
     if samples.ndim != 1:
         raise AnalysisError("amplitude_spectrum expects a 1-D trace")
-    if samples.size < 2:
-        raise AnalysisError("trace too short for a spectrum")
-    n = samples.size
-    spec = np.fft.rfft(samples)
+    freqs, amps = amplitude_spectra(samples[None, :], fs)
+    return Spectrum(freqs=freqs, amps=amps[0])
+
+
+def amplitude_spectra(
+    samples: np.ndarray, fs: float
+) -> "tuple[np.ndarray, np.ndarray]":
+    """Batched one-sided RMS amplitude spectra of a trace stack.
+
+    Returns ``(freqs, amps)`` with ``amps`` of shape ``(n_traces,
+    n_bins)``; every trace shares the frequency axis, and per-row
+    results are identical to :func:`amplitude_spectrum` of that row.
+    """
+    samples = np.asarray(samples, dtype=float)
+    if samples.ndim != 2:
+        raise AnalysisError("amplitude_spectra expects a 2-D trace stack")
+    if samples.shape[1] < 2:
+        raise AnalysisError("traces too short for a spectrum")
+    n = samples.shape[1]
+    spec = np.fft.rfft(samples, axis=-1)
     freqs = np.fft.rfftfreq(n, d=1.0 / fs)
     # Peak amplitude of each component, then to RMS.  The DC and Nyquist
     # bins are not doubled.
     amps = np.abs(spec) / n
     if n % 2 == 0:
-        amps[1:-1] *= 2.0
+        amps[:, 1:-1] *= 2.0
     else:
-        amps[1:] *= 2.0
-    amps[1:] /= np.sqrt(2.0)
-    return Spectrum(freqs=freqs, amps=amps)
+        amps[:, 1:] *= 2.0
+    amps[:, 1:] /= np.sqrt(2.0)
+    return freqs, amps
 
 
 def average_spectra(spectra: Sequence[Spectrum]) -> Spectrum:
@@ -126,31 +142,55 @@ def resample_spectrum(
     spectral lines are never lost between display points; buckets
     without a native bin interpolate in the power domain.
     """
+    grid, amps = resample_spectra(
+        spectrum.freqs, spectrum.amps[None, :], f_lo, f_hi, n_points
+    )
+    return Spectrum(freqs=grid, amps=amps[0])
+
+
+def resample_spectra(
+    freqs: np.ndarray,
+    amps: np.ndarray,
+    f_lo: float = 0.0,
+    f_hi: float = 120e6,
+    n_points: int = 2000,
+) -> "tuple[np.ndarray, np.ndarray]":
+    """Batched :func:`resample_spectrum` over an amplitude stack.
+
+    ``amps`` is ``(n_spectra, n_bins)`` sharing one native frequency
+    axis; the display grid, bucket assignment and in-band mask are
+    computed once for the whole stack.  Returns ``(grid, out)`` with
+    ``out`` of shape ``(n_spectra, n_points)``.
+    """
     if f_hi <= f_lo:
         raise AnalysisError(f"empty band [{f_lo}, {f_hi}]")
     if n_points < 2:
         raise AnalysisError("display grid needs at least two points")
-    if f_hi > spectrum.freqs[-1] * (1 + 1e-9):
+    if f_hi > freqs[-1] * (1 + 1e-9):
         raise AnalysisError(
             f"band edge {f_hi/1e6:.1f} MHz beyond Nyquist "
-            f"{spectrum.freqs[-1]/1e6:.1f} MHz"
+            f"{freqs[-1]/1e6:.1f} MHz"
         )
+    amps = np.asarray(amps, dtype=float)
+    if amps.ndim != 2:
+        raise AnalysisError("resample_spectra expects a 2-D amplitude stack")
     grid = np.linspace(f_lo, f_hi, n_points)
-    native_power = spectrum.amps**2
-    power = np.interp(grid, spectrum.freqs, native_power)
+    native_power = amps**2
+    power = np.empty((amps.shape[0], n_points))
+    for index, row in enumerate(native_power):
+        power[index] = np.interp(grid, freqs, row)
     # Positive-peak detection: assign every native bin to its nearest
     # display bucket and keep the bucket maximum.
     spacing = (f_hi - f_lo) / (n_points - 1)
-    in_band = (spectrum.freqs >= f_lo - spacing / 2) & (
-        spectrum.freqs <= f_hi + spacing / 2
-    )
+    in_band = (freqs >= f_lo - spacing / 2) & (freqs <= f_hi + spacing / 2)
     buckets = np.clip(
-        np.round((spectrum.freqs[in_band] - f_lo) / spacing).astype(int),
+        np.round((freqs[in_band] - f_lo) / spacing).astype(int),
         0,
         n_points - 1,
     )
-    np.maximum.at(power, buckets, native_power[in_band])
-    return Spectrum(freqs=grid, amps=np.sqrt(power))
+    rows = np.arange(amps.shape[0])[:, None]
+    np.maximum.at(power, (rows, buckets[None, :]), native_power[:, in_band])
+    return grid, np.sqrt(power)
 
 
 def band_slice(spectrum: Spectrum, f_lo: float, f_hi: float) -> Spectrum:

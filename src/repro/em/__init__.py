@@ -20,7 +20,14 @@ into the PSA coils, external probes and the single-coil baseline:
 
 from .dipole import bz_unit_dipole, flux_through_patches
 from .loops import rect_patches, turns_flux_factor
-from .coupling import CouplingMatrix, Receiver, emf_waveforms
+from .coupling import (
+    CouplingMatrix,
+    Receiver,
+    charge_amplitudes,
+    coupling_cache_stats,
+    emf_rfft,
+    emf_waveforms,
+)
 from .noise import NoiseModel, ambient_rms, johnson_rms
 from .devices import (
     TGATE_R_NOMINAL,
@@ -38,6 +45,9 @@ __all__ = [
     "turns_flux_factor",
     "CouplingMatrix",
     "Receiver",
+    "charge_amplitudes",
+    "coupling_cache_stats",
+    "emf_rfft",
     "emf_waveforms",
     "NoiseModel",
     "ambient_rms",

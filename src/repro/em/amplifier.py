@@ -16,8 +16,10 @@ from __future__ import annotations
 
 import numpy as np
 
+from typing import Dict, Optional, Sequence, Tuple
+
 from ..dsp.filters import (
-    apply_transfer,
+    apply_transfer_batch,
     butter_highpass_response,
     butter_lowpass_response,
 )
@@ -63,12 +65,44 @@ class MeasurementAmplifier:
         self._gain = from_db(gain_db)
         self._hp = butter_highpass_response(f_highpass, order=2)
         self._lp = butter_lowpass_response(f_lowpass, order=4)
+        self._curve_cache: Dict[Tuple[float, int], np.ndarray] = {}
+
+    # -- pickling (the engine's process backend ships amplifiers) ------------
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        # The response closures are derived state and not picklable.
+        for derived in ("_hp", "_lp", "_curve_cache"):
+            state.pop(derived, None)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._hp = butter_highpass_response(self.f_highpass, order=2)
+        self._lp = butter_lowpass_response(self.f_lowpass, order=4)
+        self._curve_cache = {}
 
     # -- transfer ------------------------------------------------------------
 
     def transfer(self, freqs: np.ndarray) -> np.ndarray:
         """Magnitude response |H(f)| including gain."""
         return self._gain * self._hp(freqs) * self._lp(freqs)
+
+    def gain_curve(self, fs: float, n_samples: int) -> np.ndarray:
+        """|H(f)| on the rFFT grid of an ``n_samples`` trace (cached).
+
+        The batched render path multiplies thousands of trace spectra
+        by the same curve; evaluating the Butterworth responses once
+        per (fs, length) pair removes that per-trace cost.
+        """
+        key = (fs, n_samples)
+        curve = self._curve_cache.get(key)
+        if curve is None:
+            freqs = np.fft.rfftfreq(n_samples, d=1.0 / fs)
+            curve = self.transfer(freqs)
+            curve.setflags(write=False)
+            self._curve_cache[key] = curve
+        return curve
 
     def source_divider(self, source_impedance: float) -> float:
         """Input voltage divider for a given source impedance."""
@@ -91,9 +125,38 @@ class MeasurementAmplifier:
     ) -> np.ndarray:
         """Run a trace through the divider, noise injection and filter."""
         samples = np.asarray(samples, dtype=float)
-        scaled = samples * self.source_divider(source_impedance)
-        if rng is not None:
-            scaled = scaled + rng.normal(
-                0.0, self.input_noise_rms(fs), samples.size
+        if samples.ndim != 1:
+            raise ConfigError("amplify expects a 1-D trace")
+        return self.amplify_batch(
+            samples[None, :],
+            fs,
+            rngs=None if rng is None else (rng,),
+            source_impedance=source_impedance,
+        )[0]
+
+    def amplify_batch(
+        self,
+        samples: np.ndarray,
+        fs: float,
+        rngs: Optional[Sequence[np.random.Generator]] = None,
+        source_impedance: float = 0.0,
+    ) -> np.ndarray:
+        """Amplify a stack of traces, shape ``(n_traces, n_samples)``.
+
+        The per-trace input-noise draws stay independent (one generator
+        per row), but the divider scaling and the band-shaping filter
+        run as single vectorized passes over the whole stack.
+        """
+        samples = np.asarray(samples, dtype=float)
+        if samples.ndim != 2:
+            raise ConfigError("amplify_batch expects a 2-D trace stack")
+        if rngs is not None and len(rngs) != samples.shape[0]:
+            raise ConfigError(
+                f"got {len(rngs)} generators for {samples.shape[0]} traces"
             )
-        return apply_transfer(scaled, fs, self.transfer)
+        scaled = samples * self.source_divider(source_impedance)
+        if rngs is not None:
+            noise_rms = self.input_noise_rms(fs)
+            for row, rng in zip(scaled, rngs):
+                row += rng.normal(0.0, noise_rms, row.size)
+        return apply_transfer_batch(scaled, fs, self.transfer)

@@ -5,17 +5,33 @@ receiver (PSA coils, probes, single coil); :func:`emf_waveforms` turns
 an :class:`~repro.chip.power.ActivityRecord` into induced-voltage
 waveforms by convolving the per-cycle charge train with the
 differentiated current kernel.
+
+Two throughput mechanisms live here because this is where the physics
+is computed:
+
+* a **content-keyed geometry cache** — the flux-integral matrices
+  depend only on (die grid, receiver turn geometry, resolution,
+  calibration scales), so identical tuples are computed once per
+  process no matter how many ``CouplingMatrix`` instances are built
+  (administered through :mod:`repro.engine.cache`);
+* a **spectral EMF path** (:func:`emf_rfft`) — the per-cycle charge
+  train is an impulse train on the fast-time grid, so its DFT is the
+  cycle-rate DFT of the charge amplitudes tiled across the trace bins;
+  the kernel convolution becomes a cached bin-wise product.  This is
+  what the batched :class:`repro.engine.MeasurementEngine` renders
+  from.
 """
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 from scipy import signal as scipy_signal
 
-from ..chip.floorplan import DIE_SIZE, REGION_LOOP_AREA, Floorplan, Rect
+from ..chip.floorplan import DIE_SIZE, POWER_STRIPES, REGION_LOOP_AREA, Floorplan, Rect
 from ..chip.power import ActivityRecord, charge_per_toggle, emf_kernel
 from ..config import SimConfig
 from ..errors import ConfigError
@@ -28,6 +44,64 @@ BOND_LOOP_AREA = 3.0e-6
 
 #: Height of the bond-loop's equivalent dipole below the die surface [m].
 BOND_LOOP_Z = -0.4e-3
+
+#: Process-wide cache of built coupling geometry, keyed by content
+#: (see :func:`coupling_geometry_key`).  Values are the read-only
+#: ``(matrix, bond_row)`` pair shared by every CouplingMatrix whose
+#: inputs hash to the same key.
+_GEOMETRY_CACHE: Dict[str, Tuple[np.ndarray, np.ndarray]] = {}
+_GEOMETRY_HITS = 0
+_GEOMETRY_MISSES = 0
+
+
+def coupling_geometry_key(
+    floorplan: Floorplan,
+    receivers: Sequence["Receiver"],
+    loop_area: float,
+    points_per_side: int,
+    scale: float,
+    bond_scale: float,
+    return_fraction: float,
+) -> str:
+    """Content key of a coupling-geometry computation.
+
+    Covers everything the flux matrices depend on: the region grid and
+    power-stripe layout, each receiver's turn rectangles and height,
+    the integration resolution and the calibration scales.  Module
+    *placements* are deliberately excluded — the geometry matrices do
+    not depend on what logic sits in a region, so chips that differ
+    only in floorplan contents share one computation.
+    """
+    h = hashlib.blake2b(digest_size=16)
+
+    def _floats(*values: float) -> None:
+        for value in values:
+            h.update(float(value).hex().encode("ascii"))
+
+    _floats(floorplan.die_size)
+    h.update(int(floorplan.n_regions_side).to_bytes(4, "little"))
+    h.update(np.ascontiguousarray(POWER_STRIPES, dtype=float).tobytes())
+    _floats(loop_area, scale, bond_scale, return_fraction)
+    h.update(int(points_per_side).to_bytes(4, "little"))
+    for receiver in receivers:
+        _floats(receiver.z)
+        for turn in receiver.turns:
+            _floats(turn.x0, turn.y0, turn.x1, turn.y1)
+    return h.hexdigest()
+
+
+def coupling_cache_stats() -> Dict[str, int]:
+    """Hit/miss/size counters of the geometry cache."""
+    return {
+        "hits": _GEOMETRY_HITS,
+        "misses": _GEOMETRY_MISSES,
+        "entries": len(_GEOMETRY_CACHE),
+    }
+
+
+def clear_coupling_cache() -> None:
+    """Drop every cached coupling geometry (mainly for tests)."""
+    _GEOMETRY_CACHE.clear()
 
 
 @dataclass(frozen=True)
@@ -125,8 +199,27 @@ class CouplingMatrix:
         )
         if not 0.0 <= self.return_fraction <= 1.0:
             raise ConfigError("return_fraction must be within [0, 1]")
-        self.matrix = self._build()
-        self.bond_row = self._build_bond_row()
+        global _GEOMETRY_HITS, _GEOMETRY_MISSES
+        key = coupling_geometry_key(
+            floorplan,
+            self.receivers,
+            self.loop_area,
+            self.points_per_side,
+            self.scale,
+            self.bond_scale,
+            self.return_fraction,
+        )
+        cached = _GEOMETRY_CACHE.get(key)
+        if cached is None:
+            _GEOMETRY_MISSES += 1
+            cached = (self._build(), self._build_bond_row())
+            _GEOMETRY_CACHE[key] = cached
+        else:
+            _GEOMETRY_HITS += 1
+        self.matrix, self.bond_row = cached
+        # Per-instance scratch used by the engine's low-rank fast path:
+        # maps a factor name to its (weights, matrix @ weights) pair.
+        self._projection_cache: Dict[str, Tuple[np.ndarray, np.ndarray]] = {}
 
     def _build(self) -> np.ndarray:
         """Region-dipole flux matrix, with area smearing.
@@ -225,6 +318,83 @@ def _charge_train(
     return train
 
 
+def _project(coupling: CouplingMatrix, name: str, weights: np.ndarray) -> np.ndarray:
+    """``matrix @ weights`` with per-factor memoization.
+
+    Activity factors reuse the same weight vectors across every record
+    of a chip, so each (coupling, factor) projection is computed once.
+    The cached weights object is identity-checked to stay safe against
+    a name collision with different contents.
+    """
+    cached = coupling._projection_cache.get(name)
+    if cached is not None and cached[0] is weights:
+        return cached[1]
+    projected = coupling.matrix @ weights
+    coupling._projection_cache[name] = (weights, projected)
+    return projected
+
+
+def charge_amplitudes(
+    coupling: CouplingMatrix,
+    record: ActivityRecord,
+    switch_cap: float | None = None,
+) -> Tuple[np.ndarray, Optional[np.ndarray]]:
+    """Per-receiver per-cycle charge amplitudes ``(rising, falling)``.
+
+    Both are ``(n_receivers, n_cycles)`` matrices combining the
+    region-dipole coupling with the global package-loop term; the
+    falling matrix is ``None`` when the record carries no falling-phase
+    (Trojan payload) activity at all.
+
+    When the record exposes its low-rank :attr:`ActivityRecord.factors`
+    (activity as a sum of per-module ``weights x toggles`` outer
+    products, which is how :class:`~repro.chip.testchip.TestChip`
+    builds it), the dense region matmul collapses to one cheap
+    projection per module — the dominant cost of EMF synthesis
+    disappears.  Dense records fall back to the full matmul.
+    """
+    config = record.config
+    from ..chip.power import MEAN_SWITCH_CAP
+
+    cap = MEAN_SWITCH_CAP if switch_cap is None else switch_cap
+    q_per_toggle = charge_per_toggle(config.vdd, cap)
+
+    factors = record.factors
+    if factors is not None:
+
+        def _assemble(parts) -> Optional[np.ndarray]:
+            if not parts:
+                return None
+            total = np.zeros((coupling.n_receivers, config.n_cycles))
+            bond_cycles = np.zeros(config.n_cycles)
+            for name, weights, toggles in parts:
+                row = _project(coupling, name, weights)
+                charge = toggles * q_per_toggle
+                total += np.outer(row, charge)
+                bond_cycles += float(weights.sum()) * charge
+            total += np.outer(coupling.bond_row, bond_cycles)
+            return total
+
+        rising_parts = list(factors.get("main", ())) + list(
+            factors.get("trojan_rising", ())
+        )
+        rising_q = _assemble(rising_parts)
+        if rising_q is None:
+            rising_q = np.zeros((coupling.n_receivers, config.n_cycles))
+        return rising_q, _assemble(list(factors.get("trojan", ())))
+
+    rising = record.main + record.trojan_rising
+    rising_q = coupling.matrix @ (rising * q_per_toggle)
+    rising_q += np.outer(coupling.bond_row, rising.sum(axis=0) * q_per_toggle)
+    if not record.trojan.any():
+        return rising_q, None
+    falling_q = coupling.matrix @ (record.trojan * q_per_toggle)
+    falling_q += np.outer(
+        coupling.bond_row, record.trojan.sum(axis=0) * q_per_toggle
+    )
+    return rising_q, falling_q
+
+
 def emf_waveforms(
     coupling: CouplingMatrix,
     record: ActivityRecord,
@@ -236,29 +406,20 @@ def emf_waveforms(
     synchronous power virus) switches at the clock rising edge;
     falling-phase Trojan payloads render half a cycle later — this
     phase structure survives into the sideband spectrum.
+
+    This is the time-domain reference path (linear convolution, tail
+    truncated); the engine's batched renderer uses the spectral twin
+    :func:`emf_rfft` instead.
     """
     config = record.config
-    from ..chip.power import MEAN_SWITCH_CAP
-
-    cap = MEAN_SWITCH_CAP if switch_cap is None else switch_cap
-    q_per_toggle = charge_per_toggle(config.vdd, cap)
-
-    # (n_receivers, n_cycles) charge amplitudes: region dipoles plus the
-    # global package-loop (total-current) term.
-    rising = record.main + record.trojan_rising
-    main_q = coupling.matrix @ (rising * q_per_toggle)
-    trojan_q = coupling.matrix @ (record.trojan * q_per_toggle)
-    main_q += np.outer(coupling.bond_row, rising.sum(axis=0) * q_per_toggle)
-    trojan_q += np.outer(
-        coupling.bond_row, record.trojan.sum(axis=0) * q_per_toggle
-    )
-
+    main_q, trojan_q = charge_amplitudes(coupling, record, switch_cap)
     kernel = emf_kernel(config)
     half_cycle = config.oversample // 2
     emf = _convolve_train(_charge_train(main_q, config, 0), kernel)
-    emf += _convolve_train(
-        _charge_train(trojan_q, config, half_cycle), kernel
-    )
+    if trojan_q is not None:
+        emf += _convolve_train(
+            _charge_train(trojan_q, config, half_cycle), kernel
+        )
     return emf
 
 
@@ -266,3 +427,91 @@ def _convolve_train(train: np.ndarray, kernel: np.ndarray) -> np.ndarray:
     """Convolve each row with the kernel, keeping the input length."""
     full = scipy_signal.fftconvolve(train, kernel[None, :], mode="full")
     return full[:, : train.shape[1]]
+
+
+# -- spectral EMF synthesis (the engine's hot path) -------------------------
+
+#: rFFT of the circularly-padded EMF kernel per configuration, keyed by
+#: the config fields the kernel depends on.
+_KERNEL_SPECTRUM_CACHE: Dict[Tuple[float, int, int], np.ndarray] = {}
+
+
+def kernel_spectrum(config: SimConfig) -> np.ndarray:
+    """rFFT of the EMF kernel zero-padded to the trace length.
+
+    Cached per (clock, oversample, trace length); read-only.
+    """
+    key = (config.f_clock, config.oversample, config.n_samples)
+    spectrum = _KERNEL_SPECTRUM_CACHE.get(key)
+    if spectrum is None:
+        kernel = emf_kernel(config)
+        padded = np.zeros(config.n_samples)
+        padded[: kernel.size] = kernel
+        spectrum = np.fft.rfft(padded)
+        spectrum.setflags(write=False)
+        _KERNEL_SPECTRUM_CACHE[key] = spectrum
+    return spectrum
+
+
+#: Cached offset phase ramps (tiny, per sampling grid).
+_PHASE_RAMP_CACHE: Dict[Tuple[int, int], np.ndarray] = {}
+
+
+def _phase_ramp(n_samples: int, sample_offset: int) -> np.ndarray:
+    key = (n_samples, sample_offset)
+    ramp = _PHASE_RAMP_CACHE.get(key)
+    if ramp is None:
+        bins = np.arange(n_samples // 2 + 1)
+        ramp = np.exp(-2j * np.pi * bins * (sample_offset / n_samples))
+        ramp.setflags(write=False)
+        _PHASE_RAMP_CACHE[key] = ramp
+    return ramp
+
+
+def _tiled_cycle_spectrum(
+    amplitudes: np.ndarray, config: SimConfig, sample_offset: int
+) -> np.ndarray:
+    """rFFT of the impulse train carrying ``amplitudes`` at each cycle.
+
+    The train places ``amplitudes[:, c]`` at sample ``c*oversample +
+    sample_offset``; because the impulses sit on a uniform sub-grid,
+    the trace-length DFT is the cycle-count DFT of the amplitudes,
+    tiled across the trace bins and phase-ramped by the offset:
+
+    ``rfft(train)[j] = exp(-2*pi*i*j*offset/N) * FFT_c(q)[j mod n_cycles]``
+    """
+    n_samples = config.n_samples
+    n_bins = n_samples // 2 + 1
+    n_cycles = config.n_cycles
+    cycle_spectrum = np.fft.fft(amplitudes, axis=-1)
+    repeats = -(-n_bins // n_cycles)
+    tiled = np.tile(cycle_spectrum, (1, repeats))[:, :n_bins]
+    if sample_offset:
+        tiled *= _phase_ramp(n_samples, sample_offset)
+    return tiled
+
+
+def emf_rfft(
+    coupling: CouplingMatrix,
+    record: ActivityRecord,
+    switch_cap: float | None = None,
+) -> np.ndarray:
+    """EMF spectrum per receiver, shape ``(n_receivers, n_bins)`` complex.
+
+    The spectral twin of :func:`emf_waveforms`: the kernel convolution
+    is evaluated as a bin-wise product on the trace FFT grid (i.e.
+    circularly — the <= one-cycle kernel tail wraps onto the trace
+    head instead of being truncated), and the charge train's rFFT comes
+    from the closed-form tiling of its cycle-rate DFT instead of a
+    long-trace FFT.  ``irfft`` of the result is the engine's rendered
+    EMF waveform.
+    """
+    config = record.config
+    rising_q, falling_q = charge_amplitudes(coupling, record, switch_cap)
+    spectrum = _tiled_cycle_spectrum(rising_q, config, 0)
+    if falling_q is not None:
+        spectrum += _tiled_cycle_spectrum(
+            falling_q, config, config.oversample // 2
+        )
+    spectrum *= kernel_spectrum(config)
+    return spectrum

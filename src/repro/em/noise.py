@@ -98,3 +98,167 @@ class NoiseModel:
         thermal = johnson_rms(self.resistance, self.temperature_c, fs / 2.0)
         ambient = ambient_rms(self.ambient_area)
         return math.sqrt(thermal**2 + ambient**2)
+
+    # -- engine-facing decomposition ------------------------------------------
+
+    def white_rms(self, fs: float) -> float:
+        """RMS of the *white* part only (thermal + broadband ambient).
+
+        The sum of two independent white Gaussian processes is itself
+        white Gaussian, so the engine draws this combined component in
+        one pass; the narrowband tones are handled separately.
+        """
+        thermal = johnson_rms(self.resistance, self.temperature_c, fs / 2.0)
+        amb_rms = ambient_rms(self.ambient_area)
+        tone_fraction = sum(fraction for _f, fraction in AMBIENT_TONES)
+        broadband = amb_rms * math.sqrt(max(1.0 - tone_fraction, 0.0))
+        return math.sqrt(thermal**2 + broadband**2)
+
+    def tones(self, fs: float) -> "tuple[tuple[float, float], ...]":
+        """Narrowband ambient interferers as ``(freq, peak_amplitude)``.
+
+        Only tones below Nyquist are returned; each is rendered as
+        ``amplitude * sin(2*pi*f*t + phase)`` with a uniform random
+        phase per capture.
+        """
+        amb_rms = ambient_rms(self.ambient_area)
+        if amb_rms <= 0.0:
+            return ()
+        return tuple(
+            (freq, amb_rms * fraction * math.sqrt(2.0))
+            for freq, fraction in AMBIENT_TONES
+            if freq < fs / 2
+        )
+
+
+# -- spectral synthesis (the engine's batched noise path) -------------------
+
+
+def white_noise_scales(
+    n_samples: int,
+    rms: float,
+    bin_gain: "np.ndarray | None" = None,
+) -> "tuple[float, float, np.ndarray]":
+    """Per-bin scales of a white-noise rFFT: ``(dc, nyquist, body)``.
+
+    ``bin_gain`` optionally folds a transfer-function magnitude (on
+    the full rFFT grid) into the scales, so filtered noise can be
+    synthesized directly.  ``nyquist`` is meaningless for odd trace
+    lengths.  Precomputable once per receiver; apply with
+    :func:`fill_white_noise_spectrum`.
+    """
+    if n_samples < 2:
+        raise ConfigError("n_samples must be >= 2")
+    full_scale = rms * math.sqrt(n_samples)
+    body_scale = rms * math.sqrt(n_samples / 2.0)
+    if bin_gain is None:
+        n_bins = n_samples // 2 + 1
+        bin_gain = np.ones(n_bins)
+    body_gain = bin_gain[1:-1] if n_samples % 2 == 0 else bin_gain[1:]
+    return (
+        full_scale * float(bin_gain[0]),
+        full_scale * float(bin_gain[-1]),
+        body_scale * body_gain,
+    )
+
+
+def fill_white_noise_spectrum(
+    out: np.ndarray,
+    z: np.ndarray,
+    dc_scale: float,
+    nyquist_scale: float,
+    body_scale: np.ndarray,
+) -> np.ndarray:
+    """Lay ``n_samples`` standard normals out as a white-noise rFFT.
+
+    This is the single definition of the bin layout: the DC (and, for
+    even lengths, Nyquist) bins are real Gaussians at the full scale;
+    every interior bin is a complex Gaussian at the body scale.  The
+    rFFT being an orthogonal map, the inverse transform of the result
+    is exactly i.i.d. Gaussian time noise.
+    """
+    n_samples = z.size
+    n_bins = n_samples // 2 + 1
+    if out.shape != (n_bins,):
+        raise ConfigError(f"out must have shape ({n_bins},), got {out.shape}")
+    out.real[0] = z[0] * dc_scale
+    out.imag[0] = 0.0
+    if n_samples % 2 == 0:
+        body = n_bins - 2
+        out.real[-1] = z[1] * nyquist_scale
+        out.imag[-1] = 0.0
+        out.real[1:-1] = z[2 : 2 + body] * body_scale
+        out.imag[1:-1] = z[2 + body :] * body_scale
+    else:
+        body = n_bins - 1
+        out.real[1:] = z[1 : 1 + body] * body_scale
+        out.imag[1:] = z[1 + body :] * body_scale
+    return out
+
+
+def white_noise_spectrum(
+    rng: np.random.Generator,
+    n_samples: int,
+    rms: float,
+    out: np.ndarray | None = None,
+) -> np.ndarray:
+    """Draw the rFFT of an ``n_samples``-long white Gaussian trace.
+
+    Synthesizing directly in the frequency domain is an exact
+    reformulation — see :func:`fill_white_noise_spectrum` — and it
+    saves one forward FFT per trace in the render pipeline.  Consumes
+    exactly ``n_samples`` standard-normal draws from ``rng``.
+    """
+    if n_samples < 2:
+        raise ConfigError("n_samples must be >= 2")
+    if out is None:
+        out = np.empty(n_samples // 2 + 1, dtype=complex)
+    return fill_white_noise_spectrum(
+        out, rng.standard_normal(n_samples), *white_noise_scales(n_samples, rms)
+    )
+
+
+def tone_bin(n_samples: int, fs: float, freq: float) -> "int | None":
+    """Interior rFFT bin of a tone, or None when it sits off-grid."""
+    bin_float = freq * n_samples / fs
+    bin_index = int(round(bin_float))
+    if (
+        abs(bin_float - bin_index) < 1e-9
+        and 0 < bin_index < n_samples // 2 + (n_samples % 2)
+    ):
+        return bin_index
+    return None
+
+
+def tone_line(amplitude: float, n_samples: int, phase: float) -> complex:
+    """Spectral line of an on-bin sine: ``A*N/2 * (sin p - i cos p)``."""
+    return (
+        amplitude
+        * (n_samples / 2.0)
+        * complex(math.sin(phase), -math.cos(phase))
+    )
+
+
+def add_tone_spectrum(
+    spectrum: np.ndarray,
+    n_samples: int,
+    fs: float,
+    freq: float,
+    amplitude: float,
+    phase: float,
+) -> None:
+    """Add ``amplitude * sin(2*pi*freq*t + phase)`` to an rFFT in place.
+
+    When the tone frequency sits exactly on an FFT bin (the default
+    configuration puts every ambient tone on-bin) the sinusoid is a
+    single spectral line; off-bin tones fall back to time-domain
+    synthesis plus one forward FFT of the tone alone.
+    """
+    bin_index = tone_bin(n_samples, fs, freq)
+    if bin_index is not None:
+        spectrum[bin_index] += tone_line(amplitude, n_samples, phase)
+        return
+    t = np.arange(n_samples) / fs
+    spectrum += np.fft.rfft(
+        amplitude * np.sin(2.0 * math.pi * freq * t + phase)
+    )

@@ -1,0 +1,49 @@
+"""The batched measurement engine subsystem.
+
+Everything between an :class:`~repro.chip.power.ActivityRecord` and an
+analyzed voltage trace routes through here:
+
+* :class:`MeasurementEngine` — the vectorized EMF→trace renderer
+  (spectral synthesis, folded noise, one irFFT per trace);
+* :class:`TraceBatch` — the ``(n_receivers, n_traces, n_samples)``
+  result container with lazy per-trace conversion;
+* :mod:`~repro.engine.backends` — pluggable execution backends
+  (``serial`` reference, ``process`` worker pool), selectable from
+  :class:`~repro.config.SimConfig` and the CLI;
+* :mod:`~repro.engine.cache` — administration of the content-keyed
+  coupling-geometry cache.
+
+The legacy per-trace APIs (``ProgrammableSensorArray.measure*``, the
+baselines' ``ReceiverBench``) are thin wrappers over one engine render,
+so per-trace and batched outputs are identical bit-for-bit.
+"""
+
+from .backends import (
+    BACKEND_NAMES,
+    ExecutionBackend,
+    ProcessBackend,
+    SerialBackend,
+    resolve_backend,
+)
+from .batch import TraceBatch
+from .cache import (
+    clear_coupling_cache,
+    coupling_cache_stats,
+    coupling_geometry_key,
+)
+from .engine import MeasurementEngine, ReceiverPlan, render_stream_name
+
+__all__ = [
+    "BACKEND_NAMES",
+    "ExecutionBackend",
+    "ProcessBackend",
+    "SerialBackend",
+    "resolve_backend",
+    "TraceBatch",
+    "clear_coupling_cache",
+    "coupling_cache_stats",
+    "coupling_geometry_key",
+    "MeasurementEngine",
+    "ReceiverPlan",
+    "render_stream_name",
+]

@@ -1,0 +1,129 @@
+"""Pluggable execution backends for the measurement engine.
+
+A backend only knows how to evaluate a picklable function over a list
+of payloads; the engine decides how to shard a render into payloads.
+``serial`` is the in-process reference implementation; ``process``
+fans shards out over a worker pool.  Because every random draw in the
+render path comes from a stream named by (scenario, receiver, trace
+index), sharding never changes the rendered samples — the backends
+are interchangeable bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, List, Protocol, Sequence, TypeVar, runtime_checkable
+
+from ..config import BACKEND_NAMES
+from ..errors import ConfigError
+
+_P = TypeVar("_P")
+_R = TypeVar("_R")
+
+
+@runtime_checkable
+class ExecutionBackend(Protocol):
+    """Anything that can evaluate a function over payload shards."""
+
+    name: str
+
+    @property
+    def parallelism(self) -> int:
+        """How many shards are worth creating for one render."""
+        ...
+
+    def map(
+        self, fn: Callable[[_P], _R], payloads: Sequence[_P]
+    ) -> List[_R]:
+        """Evaluate ``fn`` over payloads, preserving order."""
+        ...
+
+
+class SerialBackend:
+    """In-process reference backend (no sharding)."""
+
+    name = "serial"
+
+    @property
+    def parallelism(self) -> int:
+        return 1
+
+    def map(
+        self, fn: Callable[[_P], _R], payloads: Sequence[_P]
+    ) -> List[_R]:
+        return [fn(payload) for payload in payloads]
+
+
+class ProcessBackend:
+    """Worker-pool backend sharding renders across processes.
+
+    The pool is created lazily on first use and reused for every
+    subsequent render (spawn-based platforms pay worker start-up only
+    once); :meth:`close` tears it down explicitly, and Python's
+    executor machinery joins any remaining workers at interpreter
+    exit.
+
+    Parameters
+    ----------
+    max_workers:
+        Pool size (default: the machine's CPU count, minimum 2 so the
+        sharding path is exercised even on single-core hosts).
+    """
+
+    name = "process"
+
+    def __init__(self, max_workers: int | None = None):
+        if max_workers is not None and max_workers < 1:
+            raise ConfigError(f"max_workers must be >= 1, got {max_workers}")
+        self.max_workers = max_workers or max(os.cpu_count() or 1, 2)
+        self._executor: ProcessPoolExecutor | None = None
+
+    @property
+    def parallelism(self) -> int:
+        return self.max_workers
+
+    def _pool(self) -> ProcessPoolExecutor:
+        if self._executor is None:
+            # Fork keeps worker start-up cheap and inherits sys.path;
+            # fall back to the platform default where fork is missing.
+            methods = multiprocessing.get_all_start_methods()
+            context = multiprocessing.get_context(
+                "fork" if "fork" in methods else None
+            )
+            self._executor = ProcessPoolExecutor(
+                max_workers=self.max_workers, mp_context=context
+            )
+        return self._executor
+
+    def close(self) -> None:
+        """Shut the worker pool down (a later map() restarts it)."""
+        if self._executor is not None:
+            self._executor.shutdown()
+            self._executor = None
+
+    def map(
+        self, fn: Callable[[_P], _R], payloads: Sequence[_P]
+    ) -> List[_R]:
+        if len(payloads) <= 1:
+            return [fn(payload) for payload in payloads]
+        return list(self._pool().map(fn, payloads))
+
+
+def resolve_backend(
+    backend: "str | ExecutionBackend | None",
+    workers: int = 0,
+) -> ExecutionBackend:
+    """Turn a config/CLI backend spec into a backend instance."""
+    if backend is None:
+        return SerialBackend()
+    if not isinstance(backend, str):
+        return backend
+    if backend == "serial":
+        return SerialBackend()
+    if backend == "process":
+        return ProcessBackend(max_workers=workers or None)
+    raise ConfigError(
+        f"unknown engine backend {backend!r}; choose from {BACKEND_NAMES}"
+    )

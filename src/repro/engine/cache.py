@@ -1,0 +1,23 @@
+"""Engine-facing view of the coupling-geometry cache.
+
+The memoization itself lives next to the computation in
+:mod:`repro.em.coupling` (building a :class:`~repro.em.coupling.CouplingMatrix`
+transparently reuses any previously-built geometry with the same
+content key); this module re-exports the key builder and the
+administrative hooks so engine users have one place to inspect or
+reset caching behavior.
+"""
+
+from __future__ import annotations
+
+from ..em.coupling import (
+    clear_coupling_cache,
+    coupling_cache_stats,
+    coupling_geometry_key,
+)
+
+__all__ = [
+    "clear_coupling_cache",
+    "coupling_cache_stats",
+    "coupling_geometry_key",
+]

@@ -1,0 +1,424 @@
+"""The batched measurement engine — the EMF→trace hot path.
+
+One render call turns activity records plus a coupling matrix into a
+:class:`~repro.engine.batch.TraceBatch` for any subset of receivers
+and any list of capture indices.  The whole signal chain is evaluated
+in the frequency domain and inverse-transformed once per trace:
+
+1. **EMF synthesis** — :func:`repro.em.coupling.emf_rfft` builds each
+   record's per-receiver EMF spectrum from the closed-form impulse-
+   train DFT and the cached kernel spectrum; the result is computed
+   once per distinct record and *reused across every trace index* that
+   renders it.
+2. **Noise** — the white components of the chain (coil Johnson +
+   broadband ambient, referred through the amplifier's input divider,
+   plus the amplifier's own input noise) fold into a single Gaussian
+   drawn directly in the frequency domain (the formulation of
+   :func:`repro.em.noise.white_noise_spectrum`, with the gain curve
+   folded into the per-bin scales); the narrowband ambient tones are
+   single spectral lines with per-capture random phase.
+3. **Band shaping** — the amplifier's cached gain curve multiplies the
+   assembled spectra; one batched irFFT produces the final samples.
+
+Determinism contract
+--------------------
+Every random draw for capture ``(receiver, trace_index)`` comes from
+the stream ``render/{scenario}/{receiver}/{trace_index}`` of the config
+seed, with a fixed draw order (optional gain-jitter scalar, then the
+white spectrum, then one phase per ambient tone).  Rendering is
+therefore bit-for-bit independent of batch composition: a trace comes
+out identical whether rendered alone, inside any batch, through
+``measure``/``measure_all`` compatibility wrappers, or on any
+execution backend / worker count.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+from scipy import fft as scipy_fft
+
+from ..chip.power import ActivityRecord
+from ..config import SimConfig
+from ..em.amplifier import MeasurementAmplifier
+from ..em.coupling import CouplingMatrix, Receiver, emf_rfft
+from ..em.noise import (
+    NoiseModel,
+    add_tone_spectrum,
+    fill_white_noise_spectrum,
+    tone_bin,
+    tone_line,
+    white_noise_scales,
+)
+from ..errors import MeasurementError
+from ..rng import stream
+from .backends import ExecutionBackend, SerialBackend, resolve_backend
+from .batch import TraceBatch
+
+#: Traces converted from spectrum to time per irFFT call; keeps the
+#: complex scratch cache-resident while amortizing irFFT call overhead.
+DEFAULT_CHUNK_TRACES = 16
+
+
+def render_stream_name(scenario: str, receiver: str, trace_index: int) -> str:
+    """RNG stream identity of one rendered capture."""
+    return f"render/{scenario}/{receiver}/{trace_index}"
+
+
+@dataclass(frozen=True)
+class ReceiverPlan:
+    """Per-receiver constants precomputed once per render.
+
+    Attributes
+    ----------
+    name:
+        Receiver identity (trace label and RNG stream component).
+    divider:
+        Amplifier input divider for this receiver's source impedance.
+    white_rms_eff:
+        RMS of the folded white noise at the amplifier input: the
+        receiver-side white noise through the divider combined with
+        the amplifier's input-referred noise.
+    tones:
+        Ambient interferers as ``(freq, input_amplitude)`` pairs,
+        already referred through the divider.
+    gain_jitter:
+        Per-capture relative gain drift (external probes only).
+    r_series, n_turns:
+        Metadata propagated onto constructed traces.
+    """
+
+    name: str
+    divider: float
+    white_rms_eff: float
+    tones: Tuple[Tuple[float, float], ...]
+    gain_jitter: float
+    r_series: float
+    n_turns: int
+
+
+@dataclass
+class _ShardRecord:
+    """Slim stand-in for a factor-bearing record in backend shards.
+
+    The render path reads only ``config``, ``scenario`` and
+    ``factors`` when a record carries its low-rank decomposition, so
+    process-backend payloads ship this proxy instead of the full
+    record (whose dense toggle matrices would otherwise dominate the
+    inter-process traffic).
+    """
+
+    config: SimConfig
+    scenario: str
+    factors: dict
+
+
+def _render_shard(payload: tuple) -> np.ndarray:
+    """Process-pool entry point: render one shard serially."""
+    engine, coupling, records, trace_indices, receiver_indices = payload
+    return engine._render_serial(
+        coupling, records, trace_indices, receiver_indices
+    )
+
+
+class MeasurementEngine:
+    """Vectorized renderer from activity records to trace batches.
+
+    Parameters
+    ----------
+    config:
+        Simulation configuration (seed, sampling grid, temperature).
+    amplifier:
+        Measurement front-end shared by every rendered channel.
+    backend:
+        Execution backend: an instance, a name (``"serial"`` /
+        ``"process"``), or None to follow ``config.engine_backend``.
+    workers:
+        Worker count for the process backend (0 = follow
+        ``config.engine_workers``, which defaults to the CPU count).
+    chunk_traces:
+        Traces per irFFT chunk (memory/throughput trade-off).
+    """
+
+    def __init__(
+        self,
+        config: SimConfig,
+        amplifier: Optional[MeasurementAmplifier] = None,
+        backend: "str | ExecutionBackend | None" = None,
+        workers: int = 0,
+        chunk_traces: int = DEFAULT_CHUNK_TRACES,
+    ):
+        if chunk_traces < 1:
+            raise MeasurementError("chunk_traces must be >= 1")
+        self.config = config
+        self.amplifier = amplifier or MeasurementAmplifier()
+        if backend is None:
+            backend = config.engine_backend
+        if not workers:
+            workers = config.engine_workers
+        self.backend = resolve_backend(backend, workers)
+        self.chunk_traces = chunk_traces
+
+    # -- pickling (workers render their shards serially) ---------------------
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        state["backend"] = SerialBackend()
+        return state
+
+    # -- planning ------------------------------------------------------------
+
+    def _plan(self, receiver: Receiver) -> ReceiverPlan:
+        config = self.config
+        fs = config.fs
+        noise = NoiseModel(
+            resistance=receiver.r_series,
+            temperature_c=config.temperature_c,
+            ambient_area=receiver.ambient_gain,
+        )
+        divider = self.amplifier.source_divider(receiver.r_series)
+        white_eff = math.sqrt(
+            (noise.white_rms(fs) * divider) ** 2
+            + self.amplifier.input_noise_rms(fs) ** 2
+        )
+        tones = tuple(
+            (freq, amplitude * divider) for freq, amplitude in noise.tones(fs)
+        )
+        return ReceiverPlan(
+            name=receiver.name,
+            divider=divider,
+            white_rms_eff=white_eff,
+            tones=tones,
+            gain_jitter=receiver.gain_jitter,
+            r_series=receiver.r_series,
+            n_turns=len(receiver.turns),
+        )
+
+    # -- rendering -----------------------------------------------------------
+
+    def render(
+        self,
+        coupling: CouplingMatrix,
+        records: Sequence[ActivityRecord],
+        trace_indices: Optional[Sequence[int]] = None,
+        receiver_indices: Optional[Sequence[int]] = None,
+    ) -> TraceBatch:
+        """Render a batch of captures into a :class:`TraceBatch`.
+
+        Parameters
+        ----------
+        coupling:
+            Coupling matrix of the candidate receivers.
+        records:
+            Either one record per capture, or a single record reused
+            for every capture (fresh noise per trace index).
+        trace_indices:
+            RNG stream index per capture (defaults to ``0..n-1``).
+        receiver_indices:
+            Subset of ``coupling.receivers`` to render (default: all).
+        """
+        records = list(records)
+        if not records:
+            raise MeasurementError("no records to render")
+        if trace_indices is None:
+            trace_indices = list(range(len(records)))
+        else:
+            trace_indices = [int(index) for index in trace_indices]
+        if len(records) == 1 and len(trace_indices) > 1:
+            records = records * len(trace_indices)
+        if len(records) != len(trace_indices):
+            raise MeasurementError(
+                f"{len(records)} records for {len(trace_indices)} trace "
+                "indices (pass one record, or one per index)"
+            )
+        for record in records:
+            if record.config.n_samples != self.config.n_samples:
+                raise MeasurementError(
+                    "record sampling grid does not match the engine config"
+                )
+        if receiver_indices is None:
+            receiver_indices = list(range(coupling.n_receivers))
+        else:
+            receiver_indices = [int(index) for index in receiver_indices]
+        for index in receiver_indices:
+            if not 0 <= index < coupling.n_receivers:
+                raise MeasurementError(
+                    f"receiver index {index} outside the coupling matrix"
+                )
+
+        samples = self._dispatch(
+            coupling, records, trace_indices, receiver_indices
+        )
+        plans = [self._plan(coupling.receivers[i]) for i in receiver_indices]
+        return TraceBatch(
+            samples=samples,
+            fs=self.config.fs,
+            labels=tuple(plan.name for plan in plans),
+            scenarios=tuple(record.scenario for record in records),
+            trace_indices=tuple(trace_indices),
+            receiver_meta=tuple(
+                {"r_series": plan.r_series, "turns": plan.n_turns}
+                for plan in plans
+            ),
+        )
+
+    def _dispatch(
+        self,
+        coupling: CouplingMatrix,
+        records: List[ActivityRecord],
+        trace_indices: List[int],
+        receiver_indices: List[int],
+    ) -> np.ndarray:
+        """Shard the render over the backend and reassemble."""
+        n_traces = len(trace_indices)
+        n_shards = min(self.backend.parallelism, n_traces)
+        if n_shards <= 1:
+            return self._render_serial(
+                coupling, records, trace_indices, receiver_indices
+            )
+        # Factor-bearing records travel as slim proxies; proxies are
+        # deduplicated by source identity so workers keep the
+        # one-EMF-per-distinct-record reuse.
+        proxies: Dict[int, _ShardRecord] = {}
+
+        def _compact(record: ActivityRecord) -> "ActivityRecord | _ShardRecord":
+            if record.factors is None:
+                return record
+            proxy = proxies.get(id(record))
+            if proxy is None:
+                proxy = _ShardRecord(
+                    config=record.config,
+                    scenario=record.scenario,
+                    factors=record.factors,
+                )
+                proxies[id(record)] = proxy
+            return proxy
+
+        compact_records = [_compact(record) for record in records]
+        bounds = np.linspace(0, n_traces, n_shards + 1).astype(int)
+        payloads = []
+        for lo, hi in zip(bounds[:-1], bounds[1:]):
+            payloads.append(
+                (
+                    self,
+                    coupling,
+                    compact_records[lo:hi],
+                    trace_indices[lo:hi],
+                    receiver_indices,
+                )
+            )
+        shards = self.backend.map(_render_shard, payloads)
+        return np.concatenate(shards, axis=1)
+
+    def _render_serial(
+        self,
+        coupling: CouplingMatrix,
+        records: List[ActivityRecord],
+        trace_indices: List[int],
+        receiver_indices: List[int],
+    ) -> np.ndarray:
+        """Reference implementation: one process, chunked irFFTs.
+
+        The amplifier's gain curve is folded into every pre-computed
+        scale (EMF rows, per-bin white-noise scales, tone lines), so
+        each capture assembles its final filtered spectrum directly and
+        the only remaining full-spectrum passes are the per-bin writes
+        and one batched irFFT per chunk.
+        """
+        config = self.config
+        n = config.n_samples
+        fs = config.fs
+        n_bins = n // 2 + 1
+        n_traces = len(trace_indices)
+        n_receivers = len(receiver_indices)
+        plans = [self._plan(coupling.receivers[i]) for i in receiver_indices]
+        gain = self.amplifier.gain_curve(fs, n)
+
+        # Per-receiver white-noise scales with the gain curve folded in
+        # (the layout itself lives in repro.em.noise).
+        noise_scales = [
+            white_noise_scales(n, plan.white_rms_eff, bin_gain=gain)
+            for plan in plans
+        ]
+
+        # Ambient tones: on-bin tones are single filtered lines with a
+        # precomputed effective amplitude; off-bin tones (non-default
+        # grids) fall back to add_tone_spectrum plus the gain curve.
+        tone_plans: List[List[tuple]] = []
+        for plan in plans:
+            entries = []
+            for freq, amplitude in plan.tones:
+                bin_index = tone_bin(n, fs, freq)
+                if bin_index is not None:
+                    entries.append(
+                        (bin_index, amplitude * gain[bin_index])
+                    )
+                else:
+                    entries.append((None, (freq, amplitude)))
+            tone_plans.append(entries)
+
+        # EMF spectra once per distinct record, reused across captures,
+        # with divider and gain curve folded in per receiver.
+        emf_scale = np.array([plan.divider for plan in plans])[:, None] * gain
+        emf_cache: Dict[int, np.ndarray] = {}
+
+        def emf_rows(record: ActivityRecord) -> np.ndarray:
+            key = id(record)
+            rows = emf_cache.get(key)
+            if rows is None:
+                rows = emf_rfft(coupling, record)[receiver_indices]
+                rows *= emf_scale
+                emf_cache[key] = rows
+            return rows
+
+        out = np.empty((n_receivers, n_traces, n))
+        chunk = min(self.chunk_traces, n_traces)
+        scratch = np.empty((n_receivers, chunk, n_bins), dtype=complex)
+        z_buffer = np.empty(n)
+        two_pi = 2.0 * math.pi
+        for lo in range(0, n_traces, chunk):
+            hi = min(lo + chunk, n_traces)
+            spec = scratch[:, : hi - lo]
+            for offset in range(hi - lo):
+                position = lo + offset
+                record = records[position]
+                emf = emf_rows(record)
+                for row_index, plan in enumerate(plans):
+                    row = spec[row_index, offset]
+                    rng = stream(
+                        config.seed,
+                        render_stream_name(
+                            record.scenario, plan.name, trace_indices[position]
+                        ),
+                    )
+                    jitter = 1.0
+                    if plan.gain_jitter > 0.0:
+                        jitter = (
+                            1.0 + plan.gain_jitter * rng.standard_normal()
+                        )
+                    z = rng.standard_normal(n, out=z_buffer)
+                    fill_white_noise_spectrum(
+                        row, z, *noise_scales[row_index]
+                    )
+                    for bin_index, payload in tone_plans[row_index]:
+                        phase = rng.uniform(0.0, two_pi)
+                        if bin_index is not None:
+                            row[bin_index] += tone_line(payload, n, phase)
+                        else:
+                            freq, amplitude = payload
+                            tone = np.zeros(n_bins, dtype=complex)
+                            add_tone_spectrum(
+                                tone, n, fs, freq, amplitude, phase
+                            )
+                            row += gain * tone
+                    if jitter != 1.0:
+                        row += jitter * emf[row_index]
+                    else:
+                        row += emf[row_index]
+            out[:, lo:hi] = scipy_fft.irfft(
+                spec.reshape(-1, n_bins), n=n, axis=-1, overwrite_x=True
+            ).reshape(n_receivers, hi - lo, n)
+        return out

@@ -10,17 +10,20 @@ at a desired single frequency".
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import List, Sequence
 
 import numpy as np
 
 from ..dsp.filters import analytic_bandpass
 from ..dsp.transforms import (
     Spectrum,
+    amplitude_spectra,
     amplitude_spectrum,
     average_spectra,
+    resample_spectra,
     resample_spectrum,
 )
+from ..engine import TraceBatch
 from ..errors import MeasurementError
 from ..traces import Trace
 
@@ -105,6 +108,41 @@ class SpectrumAnalyzer:
         """Single-capture display spectrum (2000 uniform points)."""
         native = amplitude_spectrum(trace.samples, trace.fs)
         return resample_spectrum(native, self.f_lo, self.f_hi, self.n_points)
+
+    def display_matrix(
+        self, samples: np.ndarray, fs: float
+    ) -> "tuple[np.ndarray, np.ndarray]":
+        """Batched display spectra of a trace stack.
+
+        Returns ``(grid, amps)`` where ``amps`` is ``(n_traces,
+        n_points)`` on the shared display grid — every row identical
+        to :meth:`spectrum` of that trace.  This is the vectorized
+        entry point the analysis layers feed trace batches through.
+        """
+        freqs, native = amplitude_spectra(samples, fs)
+        return resample_spectra(
+            freqs, native, self.f_lo, self.f_hi, self.n_points
+        )
+
+    def display_spectra(self, samples: np.ndarray, fs: float) -> List[Spectrum]:
+        """Batched display spectra as :class:`Spectrum` objects."""
+        grid, amps = self.display_matrix(samples, fs)
+        return [Spectrum(freqs=grid, amps=row) for row in amps]
+
+    def batch_spectra(self, batch: TraceBatch) -> List[List[Spectrum]]:
+        """Display spectra of a whole :class:`TraceBatch`.
+
+        Returns ``spectra[receiver][trace]``, computed in one
+        vectorized pass over every capture in the batch.
+        """
+        flat = self.display_spectra(
+            batch.samples.reshape(-1, batch.n_samples), batch.fs
+        )
+        per_receiver = batch.n_traces
+        return [
+            flat[index * per_receiver : (index + 1) * per_receiver]
+            for index in range(batch.n_receivers)
+        ]
 
     def average_spectrum(self, traces: Sequence[Trace]) -> Spectrum:
         """Trace-averaged display spectrum (the paper averages five)."""

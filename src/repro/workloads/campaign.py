@@ -9,6 +9,7 @@ from typing import Dict, List, Optional, Sequence
 from ..chip.power import ActivityRecord
 from ..chip.testchip import TestChip
 from ..core.array import ProgrammableSensorArray
+from ..engine import TraceBatch
 from ..errors import WorkloadError
 from ..traces import Trace
 from .scenarios import Scenario, scenario_by_name
@@ -95,6 +96,48 @@ class MeasurementCampaign:
 
     # -- trace collection ----------------------------------------------------------
 
+    def collect_batch(
+        self,
+        scenario_name: str,
+        n_traces: int,
+        sensors: Optional[Sequence[int]] = None,
+        index_offset: int = 0,
+    ) -> TraceBatch:
+        """Capture ``n_traces`` as one batched engine render.
+
+        This is the throughput path: every capture of every selected
+        sensor is rendered in a single vectorized pass.  The records
+        behind the batch are regenerated deterministically from the
+        scenario and the trace indices.
+
+        Parameters
+        ----------
+        scenario_name:
+            A key of :data:`repro.workloads.scenarios.SCENARIOS`.
+        n_traces:
+            Captures per sensor.
+        sensors:
+            Sensor indices (default: all 16).
+        index_offset:
+            First trace index (workload and RNG streams follow it).
+        """
+        return self._collect(scenario_name, n_traces, sensors, index_offset)[1]
+
+    def _collect(
+        self,
+        scenario_name: str,
+        n_traces: int,
+        sensors: Optional[Sequence[int]],
+        index_offset: int,
+    ):
+        if n_traces < 1:
+            raise WorkloadError("need at least one trace")
+        scenario = scenario_by_name(scenario_name)
+        indices = [index_offset + i for i in range(n_traces)]
+        records = [self.record(scenario, index) for index in indices]
+        batch = self.psa.render(records, trace_indices=indices, sensors=sensors)
+        return records, batch
+
     def collect(
         self,
         scenario_name: str,
@@ -102,6 +145,10 @@ class MeasurementCampaign:
         sensors: Optional[Sequence[int]] = None,
     ) -> TraceSet:
         """Capture ``n_traces`` from the selected sensors.
+
+        Compatibility view over :meth:`collect_batch`: same rendered
+        samples, repackaged as a :class:`TraceSet` of per-sensor trace
+        lists.
 
         Parameters
         ----------
@@ -113,14 +160,8 @@ class MeasurementCampaign:
             Sensor indices (default: all 16).
         """
         wanted = list(range(16)) if sensors is None else list(sensors)
-        trace_set = TraceSet(scenario=scenario_name)
-        for index in wanted:
-            trace_set.traces[index] = []
-        for trace_index, record in enumerate(
-            self.records(scenario_name, n_traces)
-        ):
-            trace_set.records.append(record)
-            all_traces = self.psa.measure_all(record, trace_index=trace_index)
-            for index in wanted:
-                trace_set.traces[index].append(all_traces[index])
+        records, batch = self._collect(scenario_name, n_traces, wanted, 0)
+        trace_set = TraceSet(scenario=scenario_name, records=records)
+        for position, index in enumerate(wanted):
+            trace_set.traces[index] = batch.traces(position)
         return trace_set

@@ -113,3 +113,20 @@ def test_config_validation():
         DetectorConfig(consecutive=0)
     with pytest.raises(AnalysisError):
         DetectorConfig(warmup=10, baseline_window=5)
+
+
+def test_process_batch_matches_streaming_updates():
+    """The batch entry point is an ordered fold over update()."""
+    features = _stream(0.0, 30.0, 10, 4, noise=0.2, seed=7)
+    streaming = RuntimeDetector(DetectorConfig(warmup=6))
+    expected = [streaming.update(float(f)) for f in features]
+    batched = RuntimeDetector(DetectorConfig(warmup=6))
+    decisions = batched.process_batch(features)
+    assert len(decisions) == len(expected)
+    for got, want in zip(decisions, expected):
+        assert got.trace_index == want.trace_index
+        assert got.feature_db == want.feature_db
+        assert got.armed == want.armed
+        assert got.alarm == want.alarm
+        assert got.z == want.z or (np.isnan(got.z) and np.isnan(want.z))
+    assert any(decision.alarm for decision in decisions)

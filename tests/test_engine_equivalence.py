@@ -1,0 +1,206 @@
+"""Numerical equivalence of the batched engine and the legacy APIs.
+
+The engine's determinism contract: a capture is identified by
+(scenario, receiver, trace index) and renders bit-for-bit identically
+whether produced alone, inside any batch, through the compatibility
+wrappers, or on any execution backend.
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import SimConfig
+from repro.core.array import ProgrammableSensorArray
+from repro.core.sensors import quadrant_coil
+from repro.em.coupling import CouplingMatrix, emf_rfft, emf_waveforms
+from repro.em.noise import white_noise_spectrum
+from repro.engine import (
+    MeasurementEngine,
+    ProcessBackend,
+    SerialBackend,
+    TraceBatch,
+    coupling_cache_stats,
+)
+from repro.rng import stream
+
+ALL_SCENARIOS = ("idle", "baseline", "T1", "T2", "T3", "T4")
+
+
+# -- batched vs. per-trace wrappers -----------------------------------------
+
+
+@pytest.mark.parametrize("scenario", ALL_SCENARIOS)
+def test_batch_matches_measure_all(psa, records, scenario):
+    """One batched render == per-record measure_all, every sensor."""
+    recs = records[scenario]
+    batch = psa.render(recs, trace_indices=[500, 501])
+    for t, record in enumerate(recs):
+        legacy = psa.measure_all(record, trace_index=500 + t)
+        for sensor in range(16):
+            assert np.array_equal(
+                batch.samples[sensor, t], legacy[sensor].samples
+            ), f"{scenario} sensor {sensor} trace {t}"
+
+
+def test_single_sensor_render_matches_full(psa, records):
+    """Rendering a sensor subset equals the same rows of a full render."""
+    record = records["T2"][0]
+    full = psa.render([record], trace_indices=[42])
+    subset = psa.render([record], trace_indices=[42], sensors=[10, 3])
+    assert np.array_equal(subset.samples[0], full.samples[10])
+    assert np.array_equal(subset.samples[1], full.samples[3])
+    assert subset.labels == ("psa_sensor_10", "psa_sensor_3")
+
+
+def test_measure_matches_batch_row(psa, records):
+    record = records["T3"][1]
+    trace = psa.measure(record, 7, trace_index=13)
+    batch = psa.render([record], trace_indices=[13])
+    assert np.array_equal(trace.samples, batch.samples[7, 0])
+
+
+def test_measure_coil_matches_batch(psa, records):
+    coil = quadrant_coil(10, "ne")
+    single = psa.measure_coil(coil, records["T1"][0], trace_index=5)
+    batch = psa.measure_coil_batch(
+        coil, records["T1"], trace_indices=[5, 6]
+    )
+    assert np.array_equal(single.samples, batch.samples[0, 0])
+
+
+def test_campaign_collect_matches_collect_batch(campaign):
+    trace_set = campaign.collect("T4", 2, sensors=[10, 0])
+    batch = campaign.collect_batch("T4", 2, sensors=[10, 0])
+    for position, sensor in enumerate((10, 0)):
+        for index in range(2):
+            assert np.array_equal(
+                trace_set.sensor(sensor)[index].samples,
+                batch.samples[position, index],
+            )
+
+
+def test_shared_record_reuses_emf_with_fresh_noise(psa, records):
+    """One record over many indices: same signal, independent noise."""
+    record = records["baseline"][0]
+    batch = psa.render([record], trace_indices=[0, 1, 2])
+    assert batch.n_traces == 3
+    assert not np.array_equal(batch.samples[10, 0], batch.samples[10, 1])
+    again = psa.measure(record, 10, trace_index=2)
+    assert np.array_equal(again.samples, batch.samples[10, 2])
+
+
+def test_trace_metadata_parity(psa, records):
+    batch = psa.render([records["T1"][0]], trace_indices=[7])
+    trace = batch.trace(5, 0)
+    assert trace.label == "psa_sensor_5"
+    assert trace.scenario == "T1"
+    assert trace.meta["trace_index"] == 7
+    assert trace.meta["turns"] == 5
+    assert trace.meta["r_series"] > 100.0
+
+
+# -- backends ----------------------------------------------------------------
+
+
+def test_process_backend_matches_serial(chip, psa, records):
+    """The process backend shards across >= 2 workers bit-for-bit."""
+    engine = MeasurementEngine(
+        chip.config, amplifier=psa.amplifier, backend=ProcessBackend(2)
+    )
+    recs = [records["T1"][0], records["baseline"][0]] * 3
+    indices = list(range(6))
+    parallel = engine.render(psa.coupling, recs, trace_indices=indices)
+    serial = psa.engine.render(psa.coupling, recs, trace_indices=indices)
+    assert isinstance(psa.engine.backend, SerialBackend)
+    assert np.array_equal(parallel.samples, serial.samples)
+
+
+def test_backend_selection_from_config():
+    config = SimConfig(engine_backend="process", engine_workers=3)
+    engine = MeasurementEngine(config)
+    assert isinstance(engine.backend, ProcessBackend)
+    assert engine.backend.max_workers == 3
+    with pytest.raises(Exception):
+        SimConfig(engine_backend="threads")
+
+
+def test_chunking_does_not_change_output(chip, psa, records):
+    small_chunks = MeasurementEngine(
+        chip.config, amplifier=psa.amplifier, chunk_traces=2
+    )
+    recs = records["T2"] * 3
+    a = small_chunks.render(psa.coupling, recs, trace_indices=range(6))
+    b = psa.engine.render(psa.coupling, recs, trace_indices=range(6))
+    assert np.array_equal(a.samples, b.samples)
+
+
+# -- coupling-geometry cache -------------------------------------------------
+
+
+def test_coupling_cache_hits_for_identical_geometry(chip):
+    before = coupling_cache_stats()
+    second = ProgrammableSensorArray(chip)
+    after = coupling_cache_stats()
+    assert after["hits"] >= before["hits"] + 1
+    assert after["misses"] == before["misses"]
+    # The cached geometry arrays are shared, not recomputed.
+    first = ProgrammableSensorArray(chip)
+    assert second.coupling.matrix is first.coupling.matrix
+    assert second.coupling.bond_row is first.coupling.bond_row
+
+
+def test_coupling_cache_misses_on_different_geometry(chip, psa):
+    before = coupling_cache_stats()["misses"]
+    CouplingMatrix(
+        chip.floorplan,
+        psa.coupling.receivers,
+        points_per_side=24,
+        scale=psa.coupling_scale,
+    )
+    assert coupling_cache_stats()["misses"] == before + 1
+
+
+# -- spectral building blocks ------------------------------------------------
+
+
+def test_emf_rfft_matches_time_domain(psa, records):
+    """The spectral EMF equals the linear-convolution reference away
+    from the (deliberate) one-kernel circular wrap at the trace head."""
+    record = records["T4"][0]
+    config = record.config
+    spectral = np.fft.irfft(
+        emf_rfft(psa.coupling, record), n=config.n_samples, axis=-1
+    )
+    reference = emf_waveforms(psa.coupling, record)
+    scale = np.abs(reference).max()
+    wrap = 2 * config.oversample
+    assert (
+        np.abs(spectral[:, wrap:] - reference[:, wrap:]).max() < 1e-9 * scale
+    )
+
+
+def test_white_noise_spectrum_is_white_gaussian():
+    n, rms = 4096, 2.5e-3
+    rng = stream(1234, "whiteness")
+    realizations = np.empty((64, n))
+    for index in range(64):
+        spec = white_noise_spectrum(rng, n, rms)
+        realizations[index] = np.fft.irfft(spec, n=n)
+    measured = realizations.std()
+    assert measured == pytest.approx(rms, rel=0.02)
+    # Spectrally flat: band powers agree within sampling tolerance.
+    power = np.abs(np.fft.rfft(realizations, axis=-1)) ** 2
+    body = power[:, 1:-1]
+    usable = body.shape[1] - body.shape[1] % 4
+    bands = body[:, :usable].reshape(64, 4, -1).mean(axis=(0, 2))
+    assert bands.max() / bands.min() < 1.1
+
+
+def test_batch_concatenate_roundtrip(psa, records):
+    a = psa.render(records["T1"], trace_indices=[0, 1])
+    b = psa.render(records["T1"], trace_indices=[2, 3])
+    joined = TraceBatch.concatenate([a, b])
+    assert joined.n_traces == 4
+    assert joined.trace_indices == (0, 1, 2, 3)
+    assert np.array_equal(joined.samples[:, :2], a.samples)
+    assert np.array_equal(joined.samples[:, 2:], b.samples)
