@@ -5,6 +5,7 @@ Usage::
     psa-em table1            # or: python -m repro.cli table1
     psa-em fig4 --traces 5
     psa-em mttd --backend process --workers 4
+    psa-em sweep --grid table1
     psa-em all
 """
 
@@ -12,10 +13,12 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import Callable, Dict, List, Optional
 
 from .config import BACKEND_NAMES, SimConfig
 from .experiments.context import ExperimentContext
+from .sweep.grid import GRIDS
 
 
 def _cmd_table1(ctx: ExperimentContext, args: argparse.Namespace) -> str:
@@ -81,6 +84,15 @@ def _cmd_cost(ctx: ExperimentContext, args: argparse.Namespace) -> str:
     return format_cost(run_cost())
 
 
+def _cmd_sweep(ctx: ExperimentContext, args: argparse.Namespace) -> str:
+    from .sweep import DetectionSweep, build_grid
+
+    report = DetectionSweep(ctx.campaign).run(build_grid(args.grid))
+    if args.sweep_json:
+        Path(args.sweep_json).write_text(report.to_json() + "\n")
+    return report.format()
+
+
 def _cmd_ablations(ctx: ExperimentContext, args: argparse.Namespace) -> str:
     from .experiments.ablations import (
         format_ablations,
@@ -106,6 +118,7 @@ _COMMANDS: Dict[str, Callable[[ExperimentContext, argparse.Namespace], str]] = {
     "robustness": _cmd_robustness,
     "cost": _cmd_cost,
     "ablations": _cmd_ablations,
+    "sweep": _cmd_sweep,
 }
 
 
@@ -140,6 +153,18 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=0,
         help="worker count for the process backend (0 = auto)",
+    )
+    parser.add_argument(
+        "--grid",
+        choices=sorted(GRIDS),
+        default="smoke",
+        help="named grid for the sweep command (default smoke)",
+    )
+    parser.add_argument(
+        "--sweep-json",
+        metavar="PATH",
+        default=None,
+        help="also write the sweep report as JSON to PATH",
     )
     return parser
 

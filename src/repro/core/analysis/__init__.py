@@ -30,6 +30,7 @@ from .spectral import (
     sideband_frequencies,
 )
 from .detector import DetectionDecision, DetectorConfig, RuntimeDetector
+from .welford import BankStep, BankTimeline, DetectorBank, RollingMoments
 from .localizer import LocalizationResult, Localizer
 from .identifier import TrojanIdentifier, IdentificationResult
 from .mttd import MttdModel, MttdResult
@@ -45,6 +46,10 @@ __all__ = [
     "DetectionDecision",
     "DetectorConfig",
     "RuntimeDetector",
+    "BankStep",
+    "BankTimeline",
+    "DetectorBank",
+    "RollingMoments",
     "LocalizationResult",
     "Localizer",
     "TrojanIdentifier",

@@ -9,13 +9,21 @@ paper's "fewer than ten traces ... less than 10 ms MTTD".
 
 Traces that score above threshold are *not* absorbed into the baseline,
 so a persistent Trojan cannot slowly poison the reference.
+
+Debounce semantics
+------------------
+An alarm requires ``consecutive`` super-threshold traces in a row.  The
+streak is capped at ``consecutive`` and reset to zero the moment an
+alarm fires, so *every* alarm — not just the first — pays the full
+debounce; a single later outlier can never re-alarm on its own.  Fired
+alarms stay visible through the recorded :attr:`RuntimeDetector.decisions`
+timeline.
 """
 
 from __future__ import annotations
 
-from collections import deque
 from dataclasses import dataclass
-from typing import Deque, List
+from typing import List
 
 import numpy as np
 
@@ -91,26 +99,34 @@ class DetectionDecision:
 
 
 class RuntimeDetector:
-    """Streaming golden-model-free detector."""
+    """Streaming golden-model-free detector.
+
+    A thin single-stream wrapper over
+    :class:`~repro.core.analysis.welford.DetectorBank`: the baseline
+    mean/variance roll forward in O(1) per trace (Welford with exact
+    window eviction) instead of re-materializing the whole window, and
+    the decision arithmetic is shared with the vectorized sweep path,
+    which keeps the two bit-for-bit identical.
+    """
 
     def __init__(self, config: DetectorConfig | None = None):
+        from .welford import DetectorBank  # circular at import time
+
         self.config = config or DetectorConfig()
-        self._baseline: Deque[float] = deque(maxlen=self.config.baseline_window)
-        self._streak = 0
+        self._bank = DetectorBank(1, self.config)
         self._count = 0
         self.decisions: List[DetectionDecision] = []
 
     def reset(self) -> None:
         """Forget all learned state."""
-        self._baseline.clear()
-        self._streak = 0
+        self._bank.reset()
         self._count = 0
         self.decisions.clear()
 
     @property
     def armed(self) -> bool:
         """True once the warm-up baseline is populated."""
-        return len(self._baseline) >= self.config.warmup
+        return bool(self._bank.armed[0])
 
     def update(self, feature_db: float) -> DetectionDecision:
         """Consume one trace's feature; returns the decision."""
@@ -118,34 +134,13 @@ class RuntimeDetector:
             raise AnalysisError(f"non-finite feature {feature_db!r}")
         index = self._count
         self._count += 1
-        if not self.armed:
-            self._baseline.append(feature_db)
-            decision = DetectionDecision(
-                trace_index=index,
-                feature_db=feature_db,
-                z=float("nan"),
-                armed=False,
-                alarm=False,
-            )
-            self.decisions.append(decision)
-            return decision
-
-        baseline = np.fromiter(self._baseline, dtype=float)
-        std = max(float(baseline.std(ddof=1)), self.config.min_std_db)
-        z = (feature_db - float(baseline.mean())) / std
-        excess = abs(z) if self.config.two_sided else z
-        if excess > self.config.z_threshold:
-            self._streak += 1
-        else:
-            self._streak = 0
-            self._baseline.append(feature_db)
-        alarm = self._streak >= self.config.consecutive
+        step = self._bank.step(np.array([feature_db], dtype=float))
         decision = DetectionDecision(
             trace_index=index,
             feature_db=feature_db,
-            z=float(z),
-            armed=True,
-            alarm=alarm,
+            z=float(step.z[0]),
+            armed=bool(step.armed[0]),
+            alarm=bool(step.alarm[0]),
         )
         self.decisions.append(decision)
         return decision

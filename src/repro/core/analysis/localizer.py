@@ -23,7 +23,7 @@ from ...chip.power import ActivityRecord
 from ...errors import AnalysisError
 from ...instruments.spectrum_analyzer import SpectrumAnalyzer
 from ..array import ProgrammableSensorArray
-from ..sensors import N_SENSORS, quadrant_coil
+from ..sensors import quadrant_coil
 from .spectral import sideband_amplitudes
 
 #: Quadrant labels used by the refinement step.
@@ -83,7 +83,7 @@ class Localizer:
     def _sensor_amplitudes(
         self, records: Sequence[ActivityRecord], trace_offset: int = 0
     ) -> np.ndarray:
-        """Mean sideband RMS amplitude [V] per sensor, shape ``(16,)``.
+        """Mean sideband RMS amplitude [V] per sensor of the array.
 
         One engine render covers every (sensor, record) capture; the
         display spectra and band features are extracted in vectorized
@@ -100,7 +100,7 @@ class Localizer:
             batch.samples.reshape(-1, batch.n_samples), batch.fs
         )
         amps = sideband_amplitudes(grid, display, config).reshape(
-            N_SENSORS, len(records)
+            self.psa.n_sensors, len(records)
         )
         return amps.mean(axis=1)
 

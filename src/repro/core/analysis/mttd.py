@@ -46,17 +46,22 @@ class MttdResult:
     Attributes
     ----------
     detected:
-        Whether an alarm fired at all.
+        Whether an alarm correctly fired after the activation.
     traces_to_detect:
         Traces consumed after the activation (inclusive of the
         alarming trace); None when not detected.
     mttd_s:
         Wall-clock latency [s]; None when not detected.
+    false_alarm:
+        The detector alarmed *before* the activation.  A false alarm
+        is not a detection — it carries no latency — so ``detected``
+        is False and both latency fields are None.
     """
 
     detected: bool
     traces_to_detect: int | None
     mttd_s: float | None
+    false_alarm: bool = False
 
     def within(self, budget_s: float, budget_traces: int) -> bool:
         """Whether the paper's budget (<10 ms, <10 traces) is met."""
@@ -91,9 +96,14 @@ def mttd_from_alarm(
     if alarm_index is None:
         return MttdResult(detected=False, traces_to_detect=None, mttd_s=None)
     if alarm_index < trigger_index:
-        raise AnalysisError(
-            f"alarm at trace {alarm_index} precedes the activation at "
-            f"{trigger_index} — false positive, not an MTTD"
+        # An alarm before the activation is a false positive: there is
+        # no activation-to-alarm latency to report, so classify instead
+        # of deriving a (negative) MTTD from it.
+        return MttdResult(
+            detected=False,
+            traces_to_detect=None,
+            mttd_s=None,
+            false_alarm=True,
         )
     model = model or MttdModel()
     traces = alarm_index - trigger_index + 1

@@ -1,0 +1,257 @@
+"""Vectorized rolling-Welford detector core.
+
+The streaming :class:`~repro.core.analysis.detector.RuntimeDetector`
+keeps a bounded self-baseline and z-scores every new trace against it.
+The seed implementation re-materialized the whole baseline window on
+every update (``np.fromiter`` + a two-pass ``std``), an O(window) cost
+per trace.  This module replaces that with rolling Welford moments —
+O(1) mean/variance updates with exact window eviction — and vectorizes
+the whole decision loop across any number of parallel feature streams
+(one stream per sensor of a sweep cell).
+
+Bit-identity contract
+---------------------
+Every arithmetic step is an elementwise float64 operation, so a stream
+produces the same z-scores and alarms whether it is folded alone
+(``RuntimeDetector``, which delegates to a 1-stream bank) or inside any
+:class:`DetectorBank` batch — the property
+``tests/test_sweep.py::test_bank_bit_identical_to_sequential_fold``
+pins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from ...errors import AnalysisError
+from .detector import DetectorConfig
+
+
+class RollingMoments:
+    """Windowed mean/variance over parallel streams, Welford-style.
+
+    Maintains per-stream count, mean and the centered second moment
+    ``M2`` with O(1) updates; a ring buffer provides exact eviction of
+    the oldest sample once a stream's population reaches ``window``.
+
+    Parameters
+    ----------
+    n_streams:
+        Parallel stream count.
+    window:
+        Maximum population per stream (the rolling baseline size).
+    """
+
+    def __init__(self, n_streams: int, window: int):
+        if n_streams < 1:
+            raise AnalysisError("need at least one stream")
+        if window < 2:
+            raise AnalysisError("window must hold at least two samples")
+        self.n_streams = n_streams
+        self.window = window
+        self._buffer = np.zeros((n_streams, window))
+        self._head = np.zeros(n_streams, dtype=np.int64)
+        self.count = np.zeros(n_streams, dtype=np.int64)
+        self.mean = np.zeros(n_streams)
+        self.m2 = np.zeros(n_streams)
+
+    def reset(self) -> None:
+        """Forget every absorbed sample."""
+        self._buffer.fill(0.0)
+        self._head.fill(0)
+        self.count.fill(0)
+        self.mean.fill(0.0)
+        self.m2.fill(0.0)
+
+    def push(self, values: np.ndarray, mask: np.ndarray) -> None:
+        """Absorb ``values[i]`` into stream ``i`` wherever ``mask[i]``.
+
+        Streams at full window evict their oldest sample first (exact
+        Welford downdate), so the moments always describe the most
+        recent ``<= window`` absorbed samples.
+        """
+        index = np.nonzero(mask)[0]
+        if index.size == 0:
+            return
+        # Evict the oldest sample of full streams.
+        full = index[self.count[index] == self.window]
+        if full.size:
+            old = self._buffer[full, self._head[full]]
+            n = self.count[full].astype(float)
+            evicted_mean = (n * self.mean[full] - old) / (n - 1.0)
+            self.m2[full] -= (old - self.mean[full]) * (old - evicted_mean)
+            self.mean[full] = evicted_mean
+            self._head[full] = (self._head[full] + 1) % self.window
+            self.count[full] -= 1
+        # Welford update with the incoming sample.
+        slot = (self._head[index] + self.count[index]) % self.window
+        incoming = values[index]
+        self._buffer[index, slot] = incoming
+        grown = self.count[index] + 1
+        delta = incoming - self.mean[index]
+        new_mean = self.mean[index] + delta / grown
+        self.m2[index] += delta * (incoming - new_mean)
+        self.mean[index] = new_mean
+        self.count[index] = grown
+
+    def std(self, ddof: int = 1) -> np.ndarray:
+        """Per-stream sample standard deviation (NaN below ddof+1)."""
+        denom = self.count.astype(float) - ddof
+        with np.errstate(invalid="ignore", divide="ignore"):
+            variance = np.where(
+                denom > 0, np.maximum(self.m2, 0.0) / denom, np.nan
+            )
+        return np.sqrt(variance)
+
+
+@dataclass(frozen=True)
+class BankStep:
+    """Per-stream outcome of one :meth:`DetectorBank.step`.
+
+    Attributes
+    ----------
+    z:
+        z-score per stream (NaN while a stream is warming up).
+    armed:
+        Whether each stream had finished warm-up before this trace.
+    alarm:
+        Whether this trace completed an alarm on each stream.
+    """
+
+    z: np.ndarray
+    armed: np.ndarray
+    alarm: np.ndarray
+
+
+@dataclass(frozen=True)
+class BankTimeline:
+    """Full decision history of a :meth:`DetectorBank.process` run.
+
+    Attributes
+    ----------
+    z:
+        z-score matrix, shape ``(n_streams, n_traces)``.
+    armed:
+        Armed mask, same shape.
+    alarms:
+        Alarm mask, same shape (every alarm, not just the first).
+    """
+
+    z: np.ndarray
+    armed: np.ndarray
+    alarms: np.ndarray
+
+    def first_alarms(self) -> List[Optional[int]]:
+        """First alarming trace index per stream (None = silent)."""
+        out: List[Optional[int]] = []
+        for row in self.alarms:
+            hits = np.nonzero(row)[0]
+            out.append(int(hits[0]) if hits.size else None)
+        return out
+
+    def first_alarm(self) -> Optional[int]:
+        """Earliest alarm across every stream (None = all silent)."""
+        firsts = [index for index in self.first_alarms() if index is not None]
+        return min(firsts) if firsts else None
+
+
+class DetectorBank:
+    """N parallel golden-model-free detectors sharing one config.
+
+    Semantically identical to folding one
+    :class:`~repro.core.analysis.detector.RuntimeDetector` per stream —
+    warm-up absorption, super-threshold exclusion from the baseline,
+    the ``consecutive``-trace debounce and the post-alarm streak reset —
+    but every per-trace update is a handful of vectorized O(n_streams)
+    operations instead of an O(window) baseline recompute per stream.
+
+    Parameters
+    ----------
+    n_streams:
+        Parallel feature streams (e.g. sensors of a sweep cell).
+    config:
+        Shared detector tuning.
+    """
+
+    def __init__(self, n_streams: int, config: Optional[DetectorConfig] = None):
+        self.config = config or DetectorConfig()
+        self.n_streams = n_streams
+        self._moments = RollingMoments(n_streams, self.config.baseline_window)
+        self._streak = np.zeros(n_streams, dtype=np.int64)
+
+    def reset(self) -> None:
+        """Forget all learned state on every stream."""
+        self._moments.reset()
+        self._streak.fill(0)
+
+    @property
+    def armed(self) -> np.ndarray:
+        """Per-stream warm-up completion mask."""
+        return self._moments.count >= self.config.warmup
+
+    def step(self, values: np.ndarray) -> BankStep:
+        """Consume one trace's feature per stream."""
+        values = np.asarray(values, dtype=float)
+        if values.shape != (self.n_streams,):
+            raise AnalysisError(
+                f"expected {self.n_streams} features, got shape {values.shape}"
+            )
+        if not np.all(np.isfinite(values)):
+            raise AnalysisError("non-finite feature in detector input")
+        config = self.config
+        armed = self._moments.count >= config.warmup
+        z = np.full(self.n_streams, np.nan)
+        alarm = np.zeros(self.n_streams, dtype=bool)
+        absorb = ~armed  # warm-up always absorbs
+        live = np.nonzero(armed)[0]
+        if live.size:
+            count = self._moments.count[live].astype(float)
+            variance = np.maximum(self._moments.m2[live], 0.0) / (count - 1.0)
+            std = np.maximum(np.sqrt(variance), config.min_std_db)
+            scored = (values[live] - self._moments.mean[live]) / std
+            z[live] = scored
+            excess = np.abs(scored) if config.two_sided else scored
+            over = excess > config.z_threshold
+            # Debounce: the streak is capped at `consecutive` and reset
+            # once an alarm fires, so every alarm requires a full run of
+            # consecutive super-threshold traces (no latched re-alarms).
+            self._streak[live] = np.where(
+                over,
+                np.minimum(self._streak[live] + 1, config.consecutive),
+                0,
+            )
+            fired = self._streak[live] >= config.consecutive
+            alarm[live] = fired
+            self._streak[live[fired]] = 0
+            absorb[live] = ~over  # outliers never poison the baseline
+        self._moments.push(values, absorb)
+        return BankStep(z=z, armed=armed, alarm=alarm)
+
+    def process(self, features: np.ndarray) -> BankTimeline:
+        """Fold a whole ``(n_streams, n_traces)`` feature matrix.
+
+        The decision semantics are inherently sequential along the
+        trace axis (each decision conditions the next baseline), so the
+        fold iterates traces while vectorizing across streams.
+        """
+        features = np.asarray(features, dtype=float)
+        if features.ndim == 1:
+            features = features[None, :]
+        if features.ndim != 2 or features.shape[0] != self.n_streams:
+            raise AnalysisError(
+                "expected a (n_streams, n_traces) feature matrix, got "
+                f"shape {features.shape}"
+            )
+        n_traces = features.shape[1]
+        z = np.full((self.n_streams, n_traces), np.nan)
+        armed = np.zeros((self.n_streams, n_traces), dtype=bool)
+        alarms = np.zeros((self.n_streams, n_traces), dtype=bool)
+        for index in range(n_traces):
+            step = self.step(features[:, index])
+            z[:, index] = step.z
+            armed[:, index] = step.armed
+            alarms[:, index] = step.alarm
+        return BankTimeline(z=z, armed=armed, alarms=alarms)

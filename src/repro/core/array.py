@@ -50,6 +50,11 @@ class ProgrammableSensorArray:
     engine:
         Measurement engine override (defaults to a fresh engine using
         the chip config's backend selection).
+    n_sensors:
+        Standard sensors to program (default: all 16).  Smaller arrays
+        take the first ``n_sensors`` standard coil positions — useful
+        for partial deployments and cheap test fixtures; consumers must
+        derive sensor counts from the array, never assume 16.
     """
 
     def __init__(
@@ -60,7 +65,14 @@ class ProgrammableSensorArray:
         amplifier: Optional[MeasurementAmplifier] = None,
         coupling_scale: float = COUPLING_SCALE,
         engine: Optional[MeasurementEngine] = None,
+        n_sensors: Optional[int] = None,
     ):
+        if n_sensors is None:
+            n_sensors = N_SENSORS
+        if not 1 <= n_sensors <= N_SENSORS:
+            raise MeasurementError(
+                f"n_sensors must be in 1..{N_SENSORS}, got {n_sensors}"
+            )
         self.chip = chip
         self.config = chip.config
         self.grid = PsaGrid()
@@ -72,7 +84,7 @@ class ProgrammableSensorArray:
             chip.config, amplifier=self.amplifier
         )
         self.sensor_coils: List[Coil] = [
-            standard_sensor_coil(index, turns) for index in range(N_SENSORS)
+            standard_sensor_coil(index, turns) for index in range(n_sensors)
         ]
         receivers = [
             coil.to_receiver(self.config.vdd, self.config.temperature_c)
@@ -89,14 +101,21 @@ class ProgrammableSensorArray:
     # -- introspection ---------------------------------------------------------
 
     @property
+    def n_sensors(self) -> int:
+        """Programmed standard sensors."""
+        return len(self.sensor_coils)
+
+    @property
     def coupling(self) -> CouplingMatrix:
-        """Coupling matrix of the 16 standard sensors."""
+        """Coupling matrix of the programmed standard sensors."""
         return self._coupling
 
     def sensor_coil(self, index: int) -> Coil:
         """Standard coil of one sensor."""
-        if not 0 <= index < N_SENSORS:
-            raise MeasurementError(f"sensor index {index} outside 0..15")
+        if not 0 <= index < self.n_sensors:
+            raise MeasurementError(
+                f"sensor index {index} outside 0..{self.n_sensors - 1}"
+            )
         return self.sensor_coils[index]
 
     # -- batched measurement ---------------------------------------------------
@@ -117,13 +136,13 @@ class ProgrammableSensorArray:
         trace_indices:
             RNG stream index per capture (defaults to ``0..n-1``).
         sensors:
-            Sensor indices to render (default: all 16).
+            Sensor indices to render (default: every programmed sensor).
         """
         if sensors is not None:
             for index in sensors:
-                if not 0 <= index < N_SENSORS:
+                if not 0 <= index < self.n_sensors:
                     raise MeasurementError(
-                        f"sensor index {index} outside 0..15"
+                        f"sensor index {index} outside 0..{self.n_sensors - 1}"
                     )
         return self.engine.render(
             self._coupling,
@@ -162,7 +181,7 @@ class ProgrammableSensorArray:
         ``trace_index`` but fully reproducible for a given config seed.
         """
         batch = self.render([record], trace_indices=[trace_index])
-        return [batch.trace(index, 0) for index in range(N_SENSORS)]
+        return [batch.trace(index, 0) for index in range(self.n_sensors)]
 
     def measure(
         self, record: ActivityRecord, sensor_index: int, trace_index: int = 0
@@ -172,8 +191,10 @@ class ProgrammableSensorArray:
         The gate-level decoder performs the selection, so a tampered
         decoder would surface here.
         """
-        if not 0 <= sensor_index < N_SENSORS:
-            raise MeasurementError(f"sensor index {sensor_index} outside 0..15")
+        if not 0 <= sensor_index < self.n_sensors:
+            raise MeasurementError(
+                f"sensor index {sensor_index} outside 0..{self.n_sensors - 1}"
+            )
         self.decoder.select(sensor_index)
         if self.decoder.selected() != sensor_index:
             raise MeasurementError("decoder selection mismatch")

@@ -52,10 +52,13 @@ def cohens_d(active: np.ndarray, inactive: np.ndarray) -> float:
     n1, n2 = active.size, inactive.size
     v1, v2 = active.var(ddof=1), inactive.var(ddof=1)
     pooled = math.sqrt(((n1 - 1) * v1 + (n2 - 1) * v2) / (n1 + n2 - 2))
+    diff = float(active.mean() - inactive.mean())
     if pooled == 0.0:
-        # Degenerate (noise-free) separation: effectively infinite d.
-        return math.inf if active.mean() != inactive.mean() else 0.0
-    return float((active.mean() - inactive.mean()) / pooled)
+        # Degenerate (noise-free) separation: effectively infinite d,
+        # signed like the mean difference so a *drop* is not mistaken
+        # for a detectable increase by the one-sided power analysis.
+        return math.copysign(math.inf, diff) if diff != 0.0 else 0.0
+    return diff / pooled
 
 
 def required_measurements(
@@ -109,9 +112,12 @@ def welch_t(a: np.ndarray, b: np.ndarray) -> float:
         raise AnalysisError("need at least two samples per population")
     va, vb = a.var(ddof=1), b.var(ddof=1)
     denom = math.sqrt(va / a.size + vb / b.size)
+    diff = float(a.mean() - b.mean())
     if denom == 0.0:
-        return math.inf if a.mean() != b.mean() else 0.0
-    return float((a.mean() - b.mean()) / denom)
+        # Signed infinity: zero-variance populations still separate in
+        # a definite direction (matching the finite-denominator sign).
+        return math.copysign(math.inf, diff) if diff != 0.0 else 0.0
+    return diff / denom
 
 
 def z_score(value: float, baseline: np.ndarray) -> float:
@@ -120,9 +126,12 @@ def z_score(value: float, baseline: np.ndarray) -> float:
     if baseline.size < 2:
         raise AnalysisError("baseline needs at least two samples")
     std = baseline.std(ddof=1)
+    diff = float(value - baseline.mean())
     if std == 0.0:
-        return math.inf if value != baseline.mean() else 0.0
-    return float((value - baseline.mean()) / std)
+        # Signed infinity: a value *below* a zero-variance baseline
+        # must not read as an infinitely large increase.
+        return math.copysign(math.inf, diff) if diff != 0.0 else 0.0
+    return diff / std
 
 
 def roc_auc(scores_pos: np.ndarray, scores_neg: np.ndarray) -> float:

@@ -5,6 +5,11 @@ watches sensor 10 while the chip runs its normal workload, the Trojan
 activates mid-stream, and the golden-model-free detector raises an
 alarm.  The MTTD is the activation-to-alarm wall-clock latency with the
 per-trace capture + processing cadence.
+
+This module is a thin preset over :mod:`repro.sweep`: the whole
+experiment is the named ``mttd`` grid (one cell per Trojan, RASC ADC in
+the loop) evaluated by the batched-engine orchestrator, repackaged into
+the historical per-Trojan result shape.
 """
 
 from __future__ import annotations
@@ -12,19 +17,20 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
-from ..core.analysis.detector import DetectorConfig, RuntimeDetector
-from ..core.analysis.mttd import MttdModel, MttdResult, mttd_from_alarm
-from ..core.analysis.spectral import sideband_feature_db
-from ..instruments.rasc import RascMonitor
-from ..instruments.spectrum_analyzer import SpectrumAnalyzer
-from ..traces import Trace
-from ..workloads.scenarios import reference_for, scenario_by_name
+from ..core.analysis.mttd import MttdModel, MttdResult
+from ..sweep import DetectionSweep, mttd_grid
+from ..sweep.report import BUDGET_SECONDS, BUDGET_TRACES
 from .context import ExperimentContext, default_context
 from .reporting import format_table
 
-#: The paper's budget: fewer than ten traces, under ten milliseconds.
-BUDGET_TRACES = 10
-BUDGET_SECONDS = 10e-3
+__all__ = [
+    "BUDGET_SECONDS",
+    "BUDGET_TRACES",
+    "MttdScenarioResult",
+    "MttdExperimentResult",
+    "run_mttd",
+    "format_mttd",
+]
 
 
 @dataclass(frozen=True)
@@ -64,43 +70,21 @@ def run_mttd(
 ) -> MttdExperimentResult:
     """Run the runtime monitoring stream for all four Trojans."""
     ctx = ctx or default_context()
-    analyzer = SpectrumAnalyzer()
-    model = model or MttdModel()
-
-    def feature(trace: Trace) -> float:
-        return sideband_feature_db(analyzer.spectrum(trace), ctx.config)
+    sweep = DetectionSweep(ctx.campaign, mttd_model=model)
+    report = sweep.run(mttd_grid(n_baseline=n_baseline, n_active=n_active))
 
     scenarios = {}
-    for trojan in ("T1", "T2", "T3", "T4"):
-        reference = reference_for(trojan)
-        scenario = scenario_by_name(trojan)
-        stream: List[Trace] = []
-        for index in range(n_baseline):
-            record = ctx.campaign.record(reference, index)
-            stream.append(ctx.psa.measure(record, 10, index))
-        for index in range(n_active):
-            record = ctx.campaign.record(scenario, 500 + index)
-            stream.append(ctx.psa.measure(record, 10, 500 + index))
-
-        detector = RuntimeDetector(DetectorConfig(warmup=max(2, n_baseline - 2)))
-        monitor = RascMonitor(
-            feature,
-            detector,
-            processing_latency_s=model.processing_latency_s,
-        )
-        report = monitor.monitor(stream)
-        result = mttd_from_alarm(
-            report.alarm_index, n_baseline, ctx.config, model
-        )
-        scenarios[trojan] = MttdScenarioResult(
-            trojan=trojan,
-            result=result,
-            alarm_index=report.alarm_index,
-            trigger_index=n_baseline,
-            features_db=report.features_db,
+    for cell in report.cells:
+        features = cell.features_db
+        scenarios[cell.trojan] = MttdScenarioResult(
+            trojan=cell.trojan,
+            result=cell.mttd,
+            alarm_index=cell.alarm_index,
+            trigger_index=cell.n_baseline,
+            features_db=[] if features is None else list(features[0]),
         )
     return MttdExperimentResult(
-        scenarios=scenarios, trace_period_s=model.trace_period(ctx.config)
+        scenarios=scenarios, trace_period_s=report.trace_period_s
     )
 
 
@@ -109,10 +93,14 @@ def format_mttd(result: MttdExperimentResult) -> str:
     rows = []
     for trojan, scenario in result.scenarios.items():
         mttd = scenario.result
+        if mttd.false_alarm:
+            detected = "FALSE ALARM"
+        else:
+            detected = "yes" if mttd.detected else "NO"
         rows.append(
             (
                 trojan,
-                "yes" if mttd.detected else "NO",
+                detected,
                 mttd.traces_to_detect if mttd.detected else "-",
                 f"{mttd.mttd_s*1e3:.2f} ms" if mttd.detected else "-",
                 "yes" if scenario.within_budget else "NO",

@@ -42,3 +42,30 @@ def quantize(samples: np.ndarray, spec: AdcSpec) -> np.ndarray:
     clipped = np.clip(samples, -spec.full_scale, spec.full_scale - spec.lsb)
     codes = np.round(clipped / spec.lsb)
     return codes * spec.lsb
+
+
+def quantize_batch(
+    samples: np.ndarray,
+    spec: AdcSpec,
+    auto_range: bool = True,
+    headroom: float = 1.25,
+) -> np.ndarray:
+    """Quantize a ``(..., n_samples)`` trace stack in one pass.
+
+    With ``auto_range`` the converter range is rescaled to each trace's
+    own peak (plus ``headroom``) before sampling, mirroring the RASC
+    monitor's programmable-gain attenuator; all-zero traces fall back
+    to ``spec.full_scale``.  Every element goes through the same
+    clip/round arithmetic as :func:`quantize`, so each row is
+    bit-identical to quantizing that trace alone.
+    """
+    samples = np.asarray(samples, dtype=float)
+    if not auto_range:
+        return quantize(samples, spec)
+    if headroom <= 0:
+        raise MeasurementError("auto-range headroom must be positive")
+    peak = np.max(np.abs(samples), axis=-1, keepdims=True)
+    full_scale = np.where(peak > 0.0, headroom * peak, spec.full_scale)
+    lsb = 2.0 * full_scale / (1 << spec.n_bits)
+    clipped = np.clip(samples, -full_scale, full_scale - lsb)
+    return np.round(clipped / lsb) * lsb

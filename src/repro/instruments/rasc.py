@@ -19,7 +19,17 @@ from typing import Callable, List, Protocol, Sequence
 
 from ..errors import MeasurementError
 from ..traces import Trace
-from .adc import AdcSpec, quantize
+from .adc import AdcSpec, quantize, quantize_batch
+
+#: The monitor's converter: +-10 V at 12 bits swallows the 50 dB-
+#: amplified sensor output without clipping while keeping quantization
+#: ~5 mV, far below the sideband features of interest.  Canonical here;
+#: batch consumers (repro.sweep) share the same spec.
+RASC_ADC = AdcSpec(n_bits=12, full_scale=10.0)
+
+#: Auto-range headroom above each trace's peak (the programmable-gain
+#: attenuator's safety margin).
+AUTO_RANGE_HEADROOM = 1.25
 
 
 class StreamingDetector(Protocol):
@@ -64,10 +74,11 @@ class RascMonitor:
     processing_latency_s:
         On-board processing time per trace [s].
     auto_range:
-        Rescale the converter range to each trace's peak (with 25 %
-        headroom) before sampling — the front-end's programmable-gain
-        attenuator.  Without it, a strong Trojan like the T4 power
-        virus clips the converter and its signature vanishes.
+        Rescale the converter range to each trace's peak (with the
+        :data:`AUTO_RANGE_HEADROOM` margin) before sampling — the
+        front-end's programmable-gain attenuator.  Without it, a
+        strong Trojan like the T4 power virus clips the converter and
+        its signature vanishes.
     """
 
     def __init__(
@@ -82,27 +93,23 @@ class RascMonitor:
             raise MeasurementError("processing latency must be >= 0")
         self.feature_fn = feature_fn
         self.detector = detector
-        # The converter must swallow the 50 dB-amplified sensor output
-        # without clipping: +-10 V range at 12 bits keeps quantization
-        # ~5 mV, far below the sideband features of interest.
-        self.adc = adc or AdcSpec(n_bits=12, full_scale=10.0)
+        self.adc = adc or RASC_ADC
         self.processing_latency_s = processing_latency_s
         self.auto_range = auto_range
 
-    def _spec_for(self, trace: Trace) -> AdcSpec:
-        if not self.auto_range:
-            return self.adc
-        import numpy as np
-
-        peak = float(np.max(np.abs(trace.samples)))
-        if peak <= 0.0:
-            return self.adc
-        return AdcSpec(n_bits=self.adc.n_bits, full_scale=1.25 * peak)
-
     def process(self, trace: Trace) -> tuple[float, bool]:
         """Digitize and score one trace; returns (feature, alarm)."""
+        if self.auto_range:
+            samples = quantize_batch(
+                trace.samples[None, :],
+                self.adc,
+                auto_range=True,
+                headroom=AUTO_RANGE_HEADROOM,
+            )[0]
+        else:
+            samples = quantize(trace.samples, self.adc)
         digitized = Trace(
-            samples=quantize(trace.samples, self._spec_for(trace)),
+            samples=samples,
             fs=trace.fs,
             label=trace.label,
             scenario=trace.scenario,

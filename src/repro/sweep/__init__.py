@@ -1,0 +1,59 @@
+"""Detection-sweep orchestration over the batched measurement engine.
+
+Evaluates grids of {Trojan × workload × sensor subset × detector
+config} detection cells: each cell's monitoring stream renders as one
+vectorized engine pass, features fold through the rolling-Welford
+detector bank, and the per-cell scorecard (ROC-AUC, detection rate,
+required measurements, MTTD) lands in a structured
+:class:`~repro.sweep.report.SweepReport`.
+
+The named presets make the paper's headline artifacts two grid
+configurations::
+
+    repro sweep --grid table1     # Table I PSA row via the engine
+    repro sweep --grid mttd       # Section VI-D MTTD budget
+
+and ``experiments.table1`` / ``experiments.mttd`` are thin adapters
+over the same presets.
+"""
+
+from .grid import (
+    ALL_TROJANS,
+    GRIDS,
+    MONITOR_SENSOR,
+    SweepCell,
+    SweepGrid,
+    benchmark_grid,
+    build_grid,
+    mttd_grid,
+    smoke_grid,
+    table1_grid,
+)
+from .orchestrator import RASC_ADC, DetectionSweep
+from .report import (
+    BUDGET_SECONDS,
+    BUDGET_TRACES,
+    SensorOutcome,
+    SweepCellResult,
+    SweepReport,
+)
+
+__all__ = [
+    "ALL_TROJANS",
+    "GRIDS",
+    "MONITOR_SENSOR",
+    "SweepCell",
+    "SweepGrid",
+    "benchmark_grid",
+    "build_grid",
+    "mttd_grid",
+    "smoke_grid",
+    "table1_grid",
+    "RASC_ADC",
+    "DetectionSweep",
+    "BUDGET_SECONDS",
+    "BUDGET_TRACES",
+    "SensorOutcome",
+    "SweepCellResult",
+    "SweepReport",
+]

@@ -1,0 +1,184 @@
+"""The detection-sweep orchestrator.
+
+Evaluates every cell of a :class:`~repro.sweep.grid.SweepGrid` at
+engine throughput:
+
+1. **Render** — the cell's baseline+active monitoring stream goes
+   through :meth:`MeasurementCampaign.collect_stream`, one vectorized
+   engine pass per distinct stream span of the cell.  The engine's
+   coupling-geometry cache and configured execution backend
+   (serial/process) are reused as-is, and two sweep-wide memos exploit
+   the engine's determinism contract: a record cache re-uses chip
+   activity across cells that share workload indices, and a span-level
+   feature cache re-uses whole featurized spans (a baseline span shared
+   by every Trojan of a grid renders exactly once).
+2. **Featurize** — (optional) auto-ranged RASC ADC quantization, then
+   one batched display-spectrum + sideband-feature pass over every
+   capture of the cell.
+3. **Detect** — a :class:`~repro.core.analysis.welford.DetectorBank`
+   folds the whole feature matrix, one rolling-Welford detector stream
+   per sensor, bit-identical to the sequential ``RuntimeDetector``.
+4. **Score** — ROC-AUC, detection rate at the cell's operating
+   threshold, effect size / required measurements, and MTTD (with
+   pre-trigger alarms classified as false alarms).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..chip.power import ActivityRecord
+from ..core.analysis.mttd import MttdModel, mttd_from_alarm
+from ..core.analysis.spectral import sideband_features_db
+from ..core.analysis.welford import DetectorBank
+from ..dsp.stats import detection_power, detection_rate, roc_auc
+from ..instruments.adc import AdcSpec, quantize_batch
+from ..instruments.rasc import AUTO_RANGE_HEADROOM, RASC_ADC
+from ..instruments.spectrum_analyzer import SpectrumAnalyzer
+from ..workloads.campaign import MeasurementCampaign, StreamSegment
+from .grid import SweepCell, SweepGrid
+from .report import SensorOutcome, SweepCellResult, SweepReport
+
+
+class DetectionSweep:
+    """Grid evaluator bound to one campaign (chip + PSA + engine).
+
+    Parameters
+    ----------
+    campaign:
+        The measurement campaign to render streams through; its PSA's
+        engine (and therefore the configured backend/worker pool) does
+        all the rendering.
+    analyzer:
+        Spectrum analyzer model (paper display settings by default).
+    mttd_model:
+        Per-trace timing used for MTTD accounting.
+    adc:
+        Converter used by cells with ``quantize=True`` (the RASC
+        monitor's converter by default, shared with
+        :mod:`repro.instruments.rasc`).
+    """
+
+    def __init__(
+        self,
+        campaign: MeasurementCampaign,
+        analyzer: Optional[SpectrumAnalyzer] = None,
+        mttd_model: Optional[MttdModel] = None,
+        adc: AdcSpec = RASC_ADC,
+    ):
+        self.campaign = campaign
+        self.config = campaign.chip.config
+        self.analyzer = analyzer or SpectrumAnalyzer()
+        self.mttd_model = mttd_model or MttdModel()
+        self.adc = adc
+        self._record_cache: Dict[Tuple[str, int], ActivityRecord] = {}
+        self._feature_cache: Dict[tuple, np.ndarray] = {}
+
+    def run(self, grid: SweepGrid) -> SweepReport:
+        """Evaluate every cell of a grid."""
+        cells = tuple(
+            self._evaluate(cell, grid.keep_features) for cell in grid.cells
+        )
+        return SweepReport(
+            grid=grid.name,
+            trace_period_s=self.mttd_model.trace_period(self.config),
+            cells=cells,
+        )
+
+    # -- per-cell evaluation ---------------------------------------------------
+
+    def cell_features(self, cell: SweepCell) -> np.ndarray:
+        """Render + featurize one cell; ``(n_sensors, n_traces)`` [dB].
+
+        Span blocks come from the sweep-wide feature cache; the stream
+        is their concatenation in capture order.  Every feature is
+        bit-identical to rendering + featurizing the trace alone (the
+        engine's determinism contract plus row-wise featurization).
+        """
+        blocks = [
+            self._segment_features(segment, cell.sensors, cell.quantize)
+            for segment in cell.segments
+        ]
+        return np.concatenate(blocks, axis=1)
+
+    def _segment_features(
+        self,
+        segment: StreamSegment,
+        sensors: Tuple[int, ...],
+        quantize: bool,
+    ) -> np.ndarray:
+        """One span's feature block, rendered on first use only.
+
+        Cache key = the exact span identity; spans that merely overlap
+        (same scenario, different offset/length) render separately.
+        """
+        key = (
+            segment.scenario,
+            segment.n_traces,
+            segment.index_offset,
+            sensors,
+            quantize,
+        )
+        features = self._feature_cache.get(key)
+        if features is None:
+            batch = self.campaign.collect_stream(
+                [segment],
+                sensors=list(sensors),
+                record_cache=self._record_cache,
+            )
+            samples = batch.samples
+            if quantize:
+                samples = quantize_batch(
+                    samples, self.adc, headroom=AUTO_RANGE_HEADROOM
+                )
+            n_sensors, n_traces, n_samples = samples.shape
+            grid_freqs, display = self.analyzer.display_matrix(
+                samples.reshape(-1, n_samples), batch.fs
+            )
+            features = sideband_features_db(
+                grid_freqs, display, self.config
+            ).reshape(n_sensors, n_traces)
+            features.flags.writeable = False  # shared across cells
+            self._feature_cache[key] = features
+        return features
+
+    def _evaluate(self, cell: SweepCell, keep_features: bool) -> SweepCellResult:
+        features = self.cell_features(cell)
+        bank = DetectorBank(len(cell.sensors), cell.detector)
+        timeline = bank.process(features)
+        first_alarms = timeline.first_alarms()
+        alarm_index = timeline.first_alarm()
+        mttd = mttd_from_alarm(
+            alarm_index, cell.trigger_index, self.config, self.mttd_model
+        )
+        outcomes = []
+        for position, sensor in enumerate(cell.sensors):
+            inactive = features[position, : cell.n_baseline]
+            active = features[position, cell.n_baseline :]
+            power = detection_power(active, inactive)
+            outcomes.append(
+                SensorOutcome(
+                    sensor=sensor,
+                    roc_auc=roc_auc(active, inactive),
+                    detection_rate=detection_rate(
+                        active, inactive, cell.z_threshold
+                    ),
+                    effect_size=power.effect_size,
+                    n_required=power.n_required,
+                    first_alarm=first_alarms[position],
+                )
+            )
+        return SweepCellResult(
+            label=cell.label,
+            trojan=cell.trojan,
+            reference=cell.reference,
+            sensors=cell.sensors,
+            n_baseline=cell.n_baseline,
+            n_active=cell.n_active,
+            outcomes=tuple(outcomes),
+            alarm_index=alarm_index,
+            mttd=mttd,
+            features_db=features if keep_features else None,
+        )

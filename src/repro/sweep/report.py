@@ -1,0 +1,242 @@
+"""Structured results of a detection sweep.
+
+Every cell reports the full reference-free detection scorecard — per
+sensor ROC-AUC, detection rate at the operating threshold, effect size
+with the derived required-measurement count, and the alarm/MTTD
+timeline — and the :class:`SweepReport` renders the grid as JSON or as
+the plain-text table the CLI prints.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..core.analysis.mttd import MttdResult
+from ..errors import AnalysisError
+
+#: The paper's run-time budget: fewer than ten traces, under 10 ms.
+BUDGET_TRACES = 10
+BUDGET_SECONDS = 10e-3
+
+
+@dataclass(frozen=True)
+class SensorOutcome:
+    """Detection metrics of one sensor stream inside a cell.
+
+    Attributes
+    ----------
+    sensor:
+        Sensor index.
+    roc_auc:
+        Area under the ROC curve of the active-vs-baseline feature
+        populations.
+    detection_rate:
+        Fraction of active traces above the cell's z-threshold.
+    effect_size:
+        Cohen's d between the populations (signed).
+    n_required:
+        Measurements for 95 %-power detection at alpha = 1e-3.
+    first_alarm:
+        Stream index of this sensor's first alarm (None = silent).
+    """
+
+    sensor: int
+    roc_auc: float
+    detection_rate: float
+    effect_size: float
+    n_required: int
+    first_alarm: Optional[int]
+
+
+@dataclass(frozen=True)
+class SweepCellResult:
+    """Evaluation of one grid cell.
+
+    Attributes
+    ----------
+    label, trojan, reference, sensors:
+        Cell identity (see :class:`~repro.sweep.grid.SweepCell`).
+    n_baseline, n_active:
+        Stream span lengths; the Trojan activates at ``n_baseline``.
+    outcomes:
+        Per-sensor metrics, in ``sensors`` order.
+    alarm_index:
+        Earliest alarm across the cell's sensor streams.
+    mttd:
+        Activation-to-alarm latency (false alarms classified, never a
+        negative latency).
+    features_db:
+        The ``(n_sensors, n_traces)`` feature matrix (None when the
+        grid drops features).
+    """
+
+    label: str
+    trojan: str
+    reference: str
+    sensors: Tuple[int, ...]
+    n_baseline: int
+    n_active: int
+    outcomes: Tuple[SensorOutcome, ...]
+    alarm_index: Optional[int]
+    mttd: MttdResult
+    features_db: Optional[np.ndarray] = None
+
+    @property
+    def best(self) -> SensorOutcome:
+        """The strongest sensor stream (highest ROC-AUC)."""
+        if not self.outcomes:
+            raise AnalysisError("cell has no sensor outcomes")
+        return max(self.outcomes, key=lambda outcome: outcome.roc_auc)
+
+    @property
+    def within_budget(self) -> bool:
+        """Whether the paper's <10 ms / <10 traces budget is met."""
+        return self.mttd.within(BUDGET_SECONDS, BUDGET_TRACES)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready representation."""
+        payload: Dict[str, object] = {
+            "label": self.label,
+            "trojan": self.trojan,
+            "reference": self.reference,
+            "sensors": list(self.sensors),
+            "n_baseline": self.n_baseline,
+            "n_active": self.n_active,
+            "alarm_index": self.alarm_index,
+            "within_budget": self.within_budget,
+            "mttd": {
+                "detected": self.mttd.detected,
+                "false_alarm": self.mttd.false_alarm,
+                "traces_to_detect": self.mttd.traces_to_detect,
+                "mttd_s": self.mttd.mttd_s,
+            },
+            "outcomes": [
+                {
+                    "sensor": outcome.sensor,
+                    "roc_auc": outcome.roc_auc,
+                    "detection_rate": outcome.detection_rate,
+                    "effect_size": _json_float(outcome.effect_size),
+                    "n_required": outcome.n_required,
+                    "first_alarm": outcome.first_alarm,
+                }
+                for outcome in self.outcomes
+            ],
+        }
+        if self.features_db is not None:
+            payload["features_db"] = self.features_db.tolist()
+        return payload
+
+
+@dataclass(frozen=True)
+class SweepReport:
+    """Results of one grid evaluation.
+
+    Attributes
+    ----------
+    grid:
+        Grid name.
+    trace_period_s:
+        Capture + processing cadence used for MTTD accounting.
+    cells:
+        Per-cell results, in grid order.
+    """
+
+    grid: str
+    trace_period_s: float
+    cells: Tuple[SweepCellResult, ...]
+
+    @property
+    def all_detected(self) -> bool:
+        """Every cell raised a (true) alarm."""
+        return all(cell.mttd.detected for cell in self.cells)
+
+    @property
+    def all_within_budget(self) -> bool:
+        """Every cell met the paper's latency budget."""
+        return all(cell.within_budget for cell in self.cells)
+
+    def cell(self, label: str) -> SweepCellResult:
+        """Look up a cell result by label."""
+        for result in self.cells:
+            if result.label == label:
+                return result
+        raise AnalysisError(f"sweep report has no cell {label!r}")
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready representation of the whole report."""
+        return {
+            "grid": self.grid,
+            "trace_period_s": self.trace_period_s,
+            "n_cells": len(self.cells),
+            "all_detected": self.all_detected,
+            "all_within_budget": self.all_within_budget,
+            "cells": [cell.to_dict() for cell in self.cells],
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        """Serialize the report to JSON."""
+        return json.dumps(self.to_dict(), indent=indent)
+
+    def format(self) -> str:
+        """Render the grid as the CLI's plain-text table."""
+        from ..experiments.reporting import format_table
+
+        rows: List[Tuple[object, ...]] = []
+        for cell in self.cells:
+            best = cell.best
+            mttd = cell.mttd
+            if mttd.detected:
+                latency = f"{mttd.mttd_s * 1e3:.2f} ms"
+                traces = str(mttd.traces_to_detect)
+            elif mttd.false_alarm:
+                latency, traces = "FALSE ALARM", "-"
+            else:
+                latency, traces = "-", "-"
+            rows.append(
+                (
+                    cell.label,
+                    "/".join(str(s) for s in cell.sensors),
+                    f"{best.roc_auc:.3f}",
+                    f"{best.detection_rate:.0%}",
+                    _n_required_label(best.n_required),
+                    traces,
+                    latency,
+                    "yes" if cell.within_budget else "NO",
+                )
+            )
+        header = (
+            f"Detection sweep — grid {self.grid!r} ({len(self.cells)} cells, "
+            f"trace period {self.trace_period_s * 1e3:.2f} ms)\n"
+        )
+        return header + format_table(
+            [
+                "cell",
+                "sensors",
+                "ROC-AUC",
+                "det-rate",
+                "meas#",
+                "traces",
+                "MTTD",
+                "budget",
+            ],
+            rows,
+        )
+
+
+def _n_required_label(n_required: int) -> str:
+    if n_required >= 10_000:
+        return ">10,000"
+    if n_required < 10:
+        return "<10"
+    return str(n_required)
+
+
+def _json_float(value: float) -> "float | str":
+    """JSON cannot carry infinities; keep them readable."""
+    if np.isfinite(value):
+        return float(value)
+    return "inf" if value > 0 else "-inf"

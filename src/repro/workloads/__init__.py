@@ -10,7 +10,7 @@ campaign runner that turns (chip, PSA, scenario) into trace sets.
 
 from .lfsr import GaloisLfsr, PlaintextGenerator
 from .scenarios import SCENARIOS, Scenario, scenario_by_name
-from .campaign import MeasurementCampaign, TraceSet
+from .campaign import MeasurementCampaign, StreamSegment, TraceSet
 
 __all__ = [
     "GaloisLfsr",
@@ -19,5 +19,6 @@ __all__ = [
     "Scenario",
     "scenario_by_name",
     "MeasurementCampaign",
+    "StreamSegment",
     "TraceSet",
 ]

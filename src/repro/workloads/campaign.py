@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import zlib
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, MutableMapping, Optional, Sequence, Tuple
 
 from ..chip.power import ActivityRecord
 from ..chip.testchip import TestChip
@@ -13,6 +13,34 @@ from ..engine import TraceBatch
 from ..errors import WorkloadError
 from ..traces import Trace
 from .scenarios import Scenario, scenario_by_name
+
+
+@dataclass(frozen=True)
+class StreamSegment:
+    """One contiguous span of a monitoring stream.
+
+    Attributes
+    ----------
+    scenario:
+        Scenario name of every capture in the span.
+    n_traces:
+        Captures in the span.
+    index_offset:
+        First trace index (workload and RNG streams follow it).
+    """
+
+    scenario: str
+    n_traces: int
+    index_offset: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_traces < 1:
+            raise WorkloadError("segment needs at least one trace")
+
+    @property
+    def indices(self) -> List[int]:
+        """Trace indices of the span."""
+        return [self.index_offset + i for i in range(self.n_traces)]
 
 
 @dataclass
@@ -117,24 +145,68 @@ class MeasurementCampaign:
         n_traces:
             Captures per sensor.
         sensors:
-            Sensor indices (default: all 16).
+            Sensor indices (default: every sensor of the attached PSA).
         index_offset:
             First trace index (workload and RNG streams follow it).
         """
-        return self._collect(scenario_name, n_traces, sensors, index_offset)[1]
+        segment = StreamSegment(scenario_name, n_traces, index_offset)
+        return self._collect([segment], sensors, None)[1]
+
+    def collect_stream(
+        self,
+        segments: Sequence[StreamSegment],
+        sensors: Optional[Sequence[int]] = None,
+        record_cache: Optional[
+            MutableMapping[Tuple[str, int], ActivityRecord]
+        ] = None,
+    ) -> TraceBatch:
+        """Capture a multi-segment stream as one batched engine render.
+
+        The sweep orchestrator's entry point: a monitoring stream is a
+        reference span followed by a Trojan-active span (arbitrarily
+        many spans are allowed), and the whole stream renders in a
+        single vectorized engine pass so cell evaluation runs at
+        engine throughput.
+
+        Parameters
+        ----------
+        segments:
+            Stream spans in capture order.
+        sensors:
+            Sensor indices (default: every sensor of the attached PSA).
+        record_cache:
+            Optional ``(scenario, trace_index) -> ActivityRecord``
+            memo.  Records are deterministic in that key, so a cache
+            shared across calls (e.g. across sweep cells re-using the
+            same baseline span) skips re-simulating chip activity.
+        """
+        if not segments:
+            raise WorkloadError("need at least one stream segment")
+        return self._collect(segments, sensors, record_cache)[1]
 
     def _collect(
         self,
-        scenario_name: str,
-        n_traces: int,
+        segments: Sequence[StreamSegment],
         sensors: Optional[Sequence[int]],
-        index_offset: int,
+        record_cache: Optional[
+            MutableMapping[Tuple[str, int], ActivityRecord]
+        ],
     ):
-        if n_traces < 1:
-            raise WorkloadError("need at least one trace")
-        scenario = scenario_by_name(scenario_name)
-        indices = [index_offset + i for i in range(n_traces)]
-        records = [self.record(scenario, index) for index in indices]
+        records: List[ActivityRecord] = []
+        indices: List[int] = []
+        for segment in segments:
+            scenario = scenario_by_name(segment.scenario)
+            for index in segment.indices:
+                if record_cache is None:
+                    record = self.record(scenario, index)
+                else:
+                    key = (scenario.name, index)
+                    record = record_cache.get(key)
+                    if record is None:
+                        record = self.record(scenario, index)
+                        record_cache[key] = record
+                records.append(record)
+                indices.append(index)
         batch = self.psa.render(records, trace_indices=indices, sensors=sensors)
         return records, batch
 
@@ -157,10 +229,16 @@ class MeasurementCampaign:
         n_traces:
             Captures per sensor.
         sensors:
-            Sensor indices (default: all 16).
+            Sensor indices (default: every sensor of the attached PSA,
+            derived from the array — a non-16-sensor PSA yields exactly
+            its own sensors, no phantoms).
         """
-        wanted = list(range(16)) if sensors is None else list(sensors)
-        records, batch = self._collect(scenario_name, n_traces, wanted, 0)
+        if sensors is None:
+            wanted = list(range(self.psa.n_sensors))
+        else:
+            wanted = list(sensors)
+        segment = StreamSegment(scenario_name, n_traces, 0)
+        records, batch = self._collect([segment], wanted, None)
         trace_set = TraceSet(scenario=scenario_name, records=records)
         for position, index in enumerate(wanted):
             trace_set.traces[index] = batch.traces(position)

@@ -55,6 +55,38 @@ def test_consecutive_debounce():
     assert detector.run(stream) is None
 
 
+def test_streak_resets_after_alarm():
+    """Every alarm pays the full debounce — no latched re-alarms."""
+    config = DetectorConfig(warmup=4, consecutive=2, z_threshold=5.0)
+    detector = RuntimeDetector(config)
+    stream = [0.0, 0.1, -0.1, 0.05]  # warm-up
+    stream += [100.0, 100.0]  # debounced alarm at index 5
+    stream += [0.02]  # back to baseline
+    stream += [100.0]  # single outlier: must NOT re-alarm
+    stream += [0.01]
+    stream += [100.0, 100.0]  # full debounce run: re-alarms at index 10
+    alarms = [detector.update(float(f)).alarm for f in stream]
+    assert alarms == [
+        False, False, False, False,
+        False, True,
+        False,
+        False,
+        False,
+        False, True,
+    ]
+
+
+def test_streak_capped_during_long_activation():
+    """A long super-threshold run alarms repeatedly, once per debounce."""
+    config = DetectorConfig(warmup=4, consecutive=3, z_threshold=5.0)
+    detector = RuntimeDetector(config)
+    for value in (0.0, 0.1, -0.1, 0.05):
+        detector.update(value)
+    alarms = [detector.update(100.0).alarm for _ in range(9)]
+    # Alarm exactly every `consecutive` traces: indices 2, 5, 8.
+    assert alarms == [False, False, True] * 3
+
+
 def test_alarm_requires_warmup():
     detector = RuntimeDetector(DetectorConfig(warmup=8))
     for value in np.linspace(0, 1, 7):

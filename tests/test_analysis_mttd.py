@@ -41,9 +41,45 @@ def test_missed_detection():
     assert not result.within(10e-3, 10)
 
 
-def test_false_positive_rejected():
+def test_pre_trigger_alarm_classified_as_false_alarm():
+    """An alarm before the activation is a false alarm, not a latency."""
+    result = mttd_from_alarm(alarm_index=5, trigger_index=8, config=SimConfig())
+    assert result.false_alarm
+    assert not result.detected
+    assert result.traces_to_detect is None
+    assert result.mttd_s is None
+    assert not result.within(10e-3, 10)
+
+
+def test_true_detection_has_no_false_alarm_flag():
+    result = mttd_from_alarm(alarm_index=9, trigger_index=8, config=SimConfig())
+    assert result.detected and not result.false_alarm
+    missed = mttd_from_alarm(None, 8, SimConfig())
+    assert not missed.detected and not missed.false_alarm
+
+
+def test_pre_trigger_alarm_stream_end_to_end():
+    """A detector stream whose baseline glitches pre-trigger yields a
+    classified false alarm instead of a bogus negative MTTD."""
+    from repro.core.analysis.detector import DetectorConfig, RuntimeDetector
+
+    config = SimConfig()
+    detector = RuntimeDetector(
+        DetectorConfig(warmup=4, consecutive=2, z_threshold=5.0)
+    )
+    # Warm-up, then a 2-trace glitch *before* the Trojan activates.
+    stream = [0.0, 0.1, -0.1, 0.05, 80.0, 80.0, 0.0, 0.0, 40.0, 40.0]
+    trigger_index = 8
+    alarm = detector.run(stream)
+    assert alarm is not None and alarm < trigger_index
+    result = mttd_from_alarm(alarm, trigger_index, config)
+    assert result.false_alarm and not result.detected
+    assert result.mttd_s is None
+
+
+def test_negative_latency_rejected():
     with pytest.raises(AnalysisError):
-        mttd_from_alarm(alarm_index=5, trigger_index=8, config=SimConfig())
+        MttdModel(processing_latency_s=-1e-3)
 
 
 def test_default_cadence_meets_paper_budget():

@@ -22,6 +22,19 @@ def test_parser_traces_option():
     assert args.traces == 7
 
 
+def test_parser_sweep_grid_option():
+    args = build_parser().parse_args(["sweep", "--grid", "table1"])
+    assert args.experiment == "sweep"
+    assert args.grid == "table1"
+    assert args.sweep_json is None
+    args = build_parser().parse_args(
+        ["sweep", "--grid", "mttd", "--sweep-json", "out.json"]
+    )
+    assert args.sweep_json == "out.json"
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["sweep", "--grid", "bogus"])
+
+
 def test_parser_rejects_unknown():
     with pytest.raises(SystemExit):
         build_parser().parse_args(["fig9"])
@@ -40,4 +53,5 @@ def test_command_table_covers_paper_artifacts():
         "robustness",
         "cost",
         "ablations",
+        "sweep",
     } == set(_COMMANDS)

@@ -27,7 +27,8 @@ def test_cohens_d_unit_separation():
 
 
 def test_cohens_d_degenerate_zero_variance():
-    assert math.isinf(cohens_d(np.ones(5), np.zeros(5)))
+    assert cohens_d(np.ones(5), np.zeros(5)) == math.inf
+    assert cohens_d(np.zeros(5), np.ones(5)) == -math.inf  # signed
     assert cohens_d(np.ones(5), np.ones(5)) == 0.0
 
 
@@ -59,10 +60,25 @@ def test_welch_t_sign():
     assert welch_t(np.array([1.0, 2.0, 3.0]), np.array([5.0, 6.0, 7.0])) < 0
 
 
+def test_welch_t_zero_variance_keeps_sign():
+    ones, twos = np.ones(4), np.full(4, 2.0)
+    assert welch_t(twos, ones) == math.inf
+    assert welch_t(ones, twos) == -math.inf
+    assert welch_t(ones, ones) == 0.0
+
+
 def test_z_score_basic():
     baseline = np.array([10.0, 10.5, 9.5, 10.2, 9.8])
     assert z_score(10.0, baseline) == pytest.approx(0.0, abs=0.2)
     assert z_score(20.0, baseline) > 10
+
+
+def test_z_score_zero_variance_keeps_sign():
+    """A value below a zero-variance baseline is -inf, not +inf."""
+    baseline = np.full(6, 3.0)
+    assert z_score(5.0, baseline) == math.inf
+    assert z_score(1.0, baseline) == -math.inf
+    assert z_score(3.0, baseline) == 0.0
 
 
 def test_roc_auc_perfect_and_chance():

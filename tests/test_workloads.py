@@ -96,3 +96,58 @@ def test_campaign_collect(campaign):
 def test_campaign_validates_inputs(campaign):
     with pytest.raises(WorkloadError):
         campaign.records("baseline", 0)
+
+
+def test_campaign_collect_derives_sensors_from_psa(chip):
+    """A 4-sensor array collects exactly 4 sensors — no phantom 16."""
+    from repro.core.array import ProgrammableSensorArray
+    from repro.workloads.campaign import MeasurementCampaign
+
+    small_psa = ProgrammableSensorArray(chip, n_sensors=4)
+    small_campaign = MeasurementCampaign(chip, small_psa)
+    trace_set = small_campaign.collect("baseline", n_traces=2)
+    assert set(trace_set.traces) == {0, 1, 2, 3}
+    assert all(len(traces) == 2 for traces in trace_set.traces.values())
+    with pytest.raises(Exception):
+        small_campaign.collect("baseline", n_traces=1, sensors=[7])
+
+    # Downstream consumers derive the count too (no hardcoded 16).
+    from repro.core.analysis.localizer import Localizer
+    from repro.instruments.spectrum_analyzer import SpectrumAnalyzer
+    from repro.workloads.scenarios import scenario_by_name
+
+    base = [small_campaign.record(scenario_by_name("baseline"), 0)]
+    active = [small_campaign.record(scenario_by_name("T1"), 500)]
+    score = Localizer(small_psa, SpectrumAnalyzer()).score_map(base, active)
+    assert score.shape == (4,)
+
+
+def test_campaign_collect_stream_concatenates_segments(campaign):
+    from repro.workloads.campaign import StreamSegment
+
+    cache = {}
+    batch = campaign.collect_stream(
+        [
+            StreamSegment("baseline", 2, 0),
+            StreamSegment("T1", 2, 500),
+        ],
+        sensors=[10],
+        record_cache=cache,
+    )
+    assert batch.n_traces == 4
+    assert batch.scenarios == ("baseline", "baseline", "T1", "T1")
+    assert batch.trace_indices == (0, 1, 500, 501)
+    assert set(cache) == {
+        ("baseline", 0), ("baseline", 1), ("T1", 500), ("T1", 501),
+    }
+    # Cache hit: the same stream re-renders without re-simulating.
+    again = campaign.collect_stream(
+        [StreamSegment("baseline", 2, 0), StreamSegment("T1", 2, 500)],
+        sensors=[10],
+        record_cache=cache,
+    )
+    assert np.array_equal(again.samples, batch.samples)
+    with pytest.raises(WorkloadError):
+        campaign.collect_stream([], sensors=[10])
+    with pytest.raises(WorkloadError):
+        StreamSegment("baseline", 0, 0)
