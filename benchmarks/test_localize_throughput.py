@@ -1,0 +1,185 @@
+"""Localization throughput: batched engine path vs. per-(coil, record) loops.
+
+Runs the full localization flow for T4 twice:
+
+* **legacy** — the pre-batching shape: the 16-sensor score map
+  measures one (sensor, record) capture at a time (``psa.measure`` +
+  one spectrum + one band feature each), the quadrant refinement
+  renders each quadrant coil record by record (``psa.measure_coil``
+  loops), and the adaptive scan scores every (window, record) capture
+  through its own single-capture render
+  (``AdaptiveScanner(batched=False)``);
+* **batched** — ``Localizer.localize`` (one engine pass for the score
+  map, one :class:`~repro.em.coupling.CouplingStack` pass for all four
+  quadrant coils) plus the batched scanner (one stacked pass per
+  level), each with one vectorized display/feature pass per batch.
+
+Both paths must agree bit-for-bit on the score map, the quadrant
+scores and every scan-window score (so sensor choice, refined
+quadrant and descent are identical); the batched flow must be >=
+1.5x faster (typically ~2.5x on an idle machine; the floor leaves
+headroom for loaded CI hosts).  Results land in
+``BENCH_localize.json`` at the repo root so the performance
+trajectory is tracked from PR to PR.
+
+Set ``LOCALIZE_SMOKE=1`` to skip the speedup floor (CI smoke):
+equivalence is still asserted.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.analysis.localizer import QUADRANTS, Localizer
+from repro.core.analysis.scanner import AdaptiveScanner
+from repro.core.analysis.spectral import sideband_amplitude
+from repro.core.sensors import quadrant_coil
+from repro.instruments.spectrum_analyzer import SpectrumAnalyzer
+from repro.workloads.scenarios import reference_for, scenario_by_name
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_localize.json"
+
+SMOKE = os.environ.get("LOCALIZE_SMOKE", "") not in ("", "0")
+#: Batched-over-legacy throughput floor on the full flow (typically
+#: ~2.5x idle; the floor leaves headroom for loaded hosts).
+MIN_SPEEDUP = 1.5
+
+N_RECORDS = 3
+TROJAN = "T4"
+
+
+def _amp(ctx, analyzer, trace) -> float:
+    return sideband_amplitude(analyzer.spectrum(trace), ctx.config)
+
+
+def _legacy_score_map(ctx, analyzer, base, active) -> np.ndarray:
+    """The seed's per-(sensor, record) score-map loop.
+
+    Same trace indices as ``Localizer.score_map`` (baseline offset 0,
+    active offset 1000), one single-capture render per feature.
+    """
+    scores = np.zeros(ctx.psa.n_sensors)
+    for sensor in range(ctx.psa.n_sensors):
+        base_amps = [
+            _amp(ctx, analyzer, ctx.psa.measure(record, sensor, idx))
+            for idx, record in enumerate(base)
+        ]
+        active_amps = [
+            _amp(ctx, analyzer, ctx.psa.measure(record, sensor, 1000 + idx))
+            for idx, record in enumerate(active)
+        ]
+        scores[sensor] = np.mean(active_amps) - np.mean(base_amps)
+    return scores
+
+
+def _legacy_refine(ctx, analyzer, sensor_index, base, active):
+    """The seed's per-(coil, record) quadrant refinement loop."""
+    scores = {}
+    for which in QUADRANTS:
+        coil = quadrant_coil(sensor_index, which)
+        base_amps = [
+            _amp(ctx, analyzer, ctx.psa.measure_coil(coil, record, idx))
+            for idx, record in enumerate(base)
+        ]
+        active_amps = [
+            _amp(
+                ctx, analyzer, ctx.psa.measure_coil(coil, record, 2000 + idx)
+            )
+            for idx, record in enumerate(active)
+        ]
+        scores[which] = float(np.mean(active_amps) - np.mean(base_amps))
+    return scores
+
+
+def test_localize_throughput(ctx, benchmark):
+    analyzer = SpectrumAnalyzer()
+    base = [
+        ctx.campaign.record(reference_for(TROJAN), i) for i in range(N_RECORDS)
+    ]
+    active = [
+        ctx.campaign.record(scenario_by_name(TROJAN), 500 + i)
+        for i in range(N_RECORDS)
+    ]
+
+    # Warm every window's coupling geometry (a one-time, path-independent
+    # cost) plus the shared kernel/gain caches out of both timings.
+    localizer = Localizer(ctx.psa, analyzer=analyzer)
+    warm = localizer.localize(base, active, refine=True)
+    AdaptiveScanner(ctx.psa, analyzer=analyzer).scan(base, active)
+
+    start = time.perf_counter()
+    legacy_scores = _legacy_score_map(ctx, analyzer, base, active)
+    legacy_hot = int(np.argmax(legacy_scores))
+    legacy_quadrants = _legacy_refine(ctx, analyzer, legacy_hot, base, active)
+    legacy_scan = AdaptiveScanner(
+        ctx.psa, analyzer=analyzer, batched=False
+    ).scan(base, active)
+    legacy_seconds = time.perf_counter() - start
+
+    def _batched():
+        result = localizer.localize(base, active, refine=True)
+        scan = AdaptiveScanner(ctx.psa, analyzer=analyzer).scan(base, active)
+        return result, scan
+
+    start = time.perf_counter()
+    result, scan = benchmark.pedantic(_batched, rounds=1, iterations=1)
+    batched_seconds = time.perf_counter() - start
+
+    # Equivalence: the batched flow is the same experiment, bit for bit.
+    assert np.array_equal(result.scores, legacy_scores)
+    assert result.sensor_index == legacy_hot
+    assert result.quadrant_scores == legacy_quadrants
+    assert scan.position == legacy_scan.position
+    assert scan.path == legacy_scan.path
+    assert scan.levels == legacy_scan.levels
+
+    n_windows = (
+        ctx.psa.n_sensors + len(QUADRANTS) + scan.n_measurement_windows
+    )
+    speedup = legacy_seconds / batched_seconds
+    payload = {
+        "flow": {
+            "trojan": TROJAN,
+            "records_per_population": N_RECORDS,
+            "score_map_sensors": ctx.psa.n_sensors,
+            "quadrant_coils": len(QUADRANTS),
+            "scan_windows": scan.n_measurement_windows,
+            "scan_levels": len(scan.levels),
+            "total_windows": n_windows,
+            "captures": 2 * N_RECORDS * n_windows,
+        },
+        "smoke": SMOKE,
+        "legacy_per_coil": {"seconds": round(legacy_seconds, 3)},
+        "batched_engine": {"seconds": round(batched_seconds, 3)},
+        "speedup": round(speedup, 2),
+        "hot_sensor": result.sensor_index,
+        "refined_quadrant": result.quadrant,
+        "scan_error_um": round(
+            1e6
+            * float(
+                np.hypot(
+                    scan.position[0]
+                    - ctx.chip.floorplan.placements[TROJAN][0].center[0],
+                    scan.position[1]
+                    - ctx.chip.floorplan.placements[TROJAN][0].center[1],
+                )
+            ),
+            1,
+        ),
+    }
+    BENCH_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    print()
+    print(json.dumps(payload, indent=2))
+
+    assert result.sensor_index == warm.sensor_index == 10
+    assert result.quadrant == "se"
+    if not SMOKE:
+        assert speedup >= MIN_SPEEDUP, (
+            f"batched localization speedup {speedup:.2f}x below "
+            f"{MIN_SPEEDUP}x"
+        )

@@ -6,6 +6,11 @@ layout: a quadtree descent that programs progressively smaller coils
 around the strongest sideband response, narrowing the T4 power virus
 to a ~170 um window — then renders the floorplan and the score map.
 
+Every scan level renders as ONE batched engine pass over a coupling
+stack of its candidate windows (the sequential per-coil path is
+retained behind ``AdaptiveScanner(batched=False)`` and is
+bit-identical).
+
 Run:
     python examples/adaptive_scan.py
 """
@@ -37,7 +42,8 @@ def main() -> None:
         campaign.record(scenario_by_name(trojan), 500 + i) for i in range(2)
     ]
 
-    print(f"adaptive scan for {trojan} (coarse stage):")
+    print(f"adaptive scan for {trojan} (coarse stage, one batched "
+          "render per level):")
     scanner = AdaptiveScanner(psa)
     scan = scanner.scan(baseline, active)
     for level, winner in enumerate(scan.path):

@@ -4,7 +4,12 @@
 Prints the 4x4 per-sensor score map for each Trojan (the added sideband
 amplitude when the Trojan activates) and shows the adaptive refinement:
 the lattice reprogrammed into four quadrant coils inside the hot
-sensor.
+sensor, rendered as ONE batched engine pass over a coupling stack.
+
+The per-Trojan results come from the localization sweep
+(`repro.sweep.LocalizationSweep`) — the same orchestrator behind
+`repro sweep --grid localize` — so this example also prints the
+sweep's scorecard table (hit-rate, error, margin, windows).
 
 Run:
     python examples/localize_trojan.py
@@ -13,9 +18,8 @@ Run:
 import numpy as np
 
 from repro import ProgrammableSensorArray, SimConfig, TestChip
-from repro.core.analysis.localizer import Localizer
+from repro.sweep import LocalizationSweep, LocalizeCell, LocalizeGrid
 from repro.workloads.campaign import MeasurementCampaign
-from repro.workloads.scenarios import reference_for, scenario_by_name
 
 
 def print_score_map(scores: np.ndarray) -> None:
@@ -35,18 +39,24 @@ def main() -> None:
     chip = TestChip(key=bytes(range(16)), config=config)
     psa = ProgrammableSensorArray(chip)
     campaign = MeasurementCampaign(chip, psa)
-    localizer = Localizer(psa)
 
-    for trojan in ("T1", "T2", "T3", "T4"):
-        reference = reference_for(trojan)
-        scenario = scenario_by_name(trojan)
-        baseline = [campaign.record(reference, i) for i in range(3)]
-        active = [campaign.record(scenario, 500 + i) for i in range(3)]
+    grid = LocalizeGrid(
+        name="example",
+        cells=tuple(
+            LocalizeCell(trojan=trojan, n_records=3)
+            for trojan in ("T1", "T2", "T3", "T4")
+        ),
+        keep_details=True,
+    )
+    sweep = LocalizationSweep(config, campaign=campaign)
+    report = sweep.run(grid)
 
-        result = localizer.localize(baseline, active, refine=True)
-        true_center = chip.floorplan.placements[trojan][0].center
+    for cell in report.cells:
+        result = cell.details[0]
+        true_center = chip.floorplan.placements[cell.trojan][0].center
 
-        print(f"=== {trojan}: added sideband amplitude per sensor [mV] ===")
+        print(f"=== {cell.trojan}: added sideband amplitude per sensor"
+              " [mV] ===")
         print_score_map(result.scores)
         quadrants = {
             name: f"{value * 1e3:.2f}"
@@ -62,9 +72,12 @@ def main() -> None:
         print(
             f"   position   : ({result.position[0] * 1e6:.0f}, "
             f"{result.position[1] * 1e6:.0f}) um — "
-            f"{error * 1e6:.0f} um from the true Trojan center"
+            f"{error * 1e6:.0f} um from the true Trojan center "
+            f"({cell.outcomes[0].windows} programmed windows)"
         )
         print()
+
+    print(report.format())
 
 
 if __name__ == "__main__":

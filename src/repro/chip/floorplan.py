@@ -247,31 +247,13 @@ class Floorplan:
         return centers, returns
 
 
-def default_floorplan() -> Floorplan:
-    """The paper's test-chip floorplan (see module docstring).
+#: The sensor hosting the Trojan cluster on the paper's chip.
+DEFAULT_TROJAN_SENSOR = 10
 
-    Trojan quadrant assignment inside sensor 10: T1 north-west,
-    T2 north-east, T3 south-west (small), T4 south-east.  The cluster
-    sits in sensor 10's *exclusive core* — the part of its footprint
-    not shared with the overlapping neighbours — matching the
-    paper's amoeba view, where sensor 10 "offers the most coverage of
-    both Trojan payloads and triggers".
-    """
-    # Sensor 10's *programmed coil* spans lattice columns 16..28 and
-    # rows 8..20 at a DIE/35 pitch.  The Trojan cluster lives in sensor
-    # 10's *exclusive core* — the sub-area no overlapping
-    # neighbour covers (x in 20..23 pitches, y in 12..16 pitches) — so
-    # both the Trojan switching currents and their stripe returns (the
-    # x = 600 um stripe runs through the core) couple to sensor 10 and
-    # to no neighbour from the inside.  One Trojan per quadrant, at
-    # mid-cell positions clear of every lattice wire.
-    pitch = DIE_SIZE / 35.0
-    x_west, x_east = 20.5 * pitch, 22.5 * pitch
-    y_south, y_north = 12.5 * pitch, 14.5 * pitch
 
-    def _trojan_rect(x: float, y: float, half: float) -> Rect:
-        return Rect(x - half, y - half, x + half, y + half)
-    placements: Dict[str, List[Rect]] = {
+def _base_placements() -> Dict[str, List[Rect]]:
+    """Every non-Trojan module of the paper's test chip."""
+    return {
         # AES core (central/right band).
         "aes_sbox_bank": [_um_rect(250, 100, 950, 400)],
         "aes_mixcolumns": [_um_rect(250, 400, 650, 580)],
@@ -291,11 +273,75 @@ def default_floorplan() -> Floorplan:
             _um_rect(0, 25, 25, 975),
             _um_rect(975, 25, 1000, 975),
         ],
-        # Trojans: one per quadrant of sensor 10, T3 smaller than the
-        # rest (329 cells).
+    }
+
+
+def trojan_cluster_rects(sensor_index: int) -> Dict[str, List[Rect]]:
+    """The four-Trojan cluster implanted under one sensor.
+
+    Places one Trojan per quadrant of the host sensor's *exclusive
+    core* — the sub-area no overlapping neighbour covers, offset
+    4.5/6.5 lattice pitches from the sensor origin, mid-cell and clear
+    of every lattice wire — with T1 north-west, T2 north-east, T3
+    south-west (smaller), T4 south-east.  For the paper's host
+    (sensor 10) this reproduces the published layout exactly,
+    including the x = 600 um power stripe running through the core as
+    the return-current path.
+
+    Parameters
+    ----------
+    sensor_index:
+        Host sensor of the cluster (0..15, row-major, row 0 on top).
+
+    Returns
+    -------
+    dict
+        ``{"T1": [rect], ..., "T4": [rect]}`` placements [m].
+    """
+    host = sensor_rect(sensor_index)
+    pitch = DIE_SIZE / 35.0
+    x_west, x_east = host.x0 + 4.5 * pitch, host.x0 + 6.5 * pitch
+    y_south, y_north = host.y0 + 4.5 * pitch, host.y0 + 6.5 * pitch
+
+    def _trojan_rect(x: float, y: float, half: float) -> Rect:
+        return Rect(x - half, y - half, x + half, y + half)
+
+    return {
         "T1": [_trojan_rect(x_west, y_north, 14.0 * UM)],
         "T2": [_trojan_rect(x_east, y_north, 14.0 * UM)],
         "T3": [_trojan_rect(x_west, y_south, 10.0 * UM)],
         "T4": [_trojan_rect(x_east, y_south, 14.0 * UM)],
     }
+
+
+def floorplan_with_trojans_at(sensor_index: int) -> Floorplan:
+    """The test-chip floorplan with the Trojan cluster under any sensor.
+
+    Everything except the Trojans stays at the paper's placement; the
+    cluster (see :func:`trojan_cluster_rects`) moves to the chosen
+    host.  This is the implant-position axis of the localization
+    sweep: the coupling *geometry* is placement-independent (the
+    content-keyed cache is shared across hosts), only the per-module
+    activity weights change.
+
+    Parameters
+    ----------
+    sensor_index:
+        Host sensor of the implanted cluster (0..15).
+    """
+    placements = _base_placements()
+    placements.update(trojan_cluster_rects(sensor_index))
     return Floorplan(placements)
+
+
+def default_floorplan() -> Floorplan:
+    """The paper's test-chip floorplan (see module docstring).
+
+    Trojan quadrant assignment inside sensor 10: T1 north-west,
+    T2 north-east, T3 south-west (small), T4 south-east.  The cluster
+    sits in sensor 10's *exclusive core* — the part of its footprint
+    not shared with the overlapping neighbours — matching the
+    paper's amoeba view, where sensor 10 "offers the most coverage of
+    both Trojan payloads and triggers".
+    """
+    return floorplan_with_trojans_at(DEFAULT_TROJAN_SENSOR)

@@ -19,6 +19,7 @@ from typing import Callable, Dict, List, Optional
 from .config import BACKEND_NAMES, SimConfig
 from .experiments.context import ExperimentContext
 from .sweep.grid import GRIDS
+from .sweep.localize import LOCALIZE_GRIDS
 
 
 def _cmd_table1(ctx: ExperimentContext, args: argparse.Namespace) -> str:
@@ -85,9 +86,18 @@ def _cmd_cost(ctx: ExperimentContext, args: argparse.Namespace) -> str:
 
 
 def _cmd_sweep(ctx: ExperimentContext, args: argparse.Namespace) -> str:
-    from .sweep import DetectionSweep, build_grid
+    from .sweep import (
+        DetectionSweep,
+        LocalizationSweep,
+        build_grid,
+        build_localize_grid,
+    )
 
-    report = DetectionSweep(ctx.campaign).run(build_grid(args.grid))
+    if args.grid in LOCALIZE_GRIDS:
+        sweep = LocalizationSweep(ctx.config, campaign=ctx.campaign)
+        report = sweep.run(build_localize_grid(args.grid))
+    else:
+        report = DetectionSweep(ctx.campaign).run(build_grid(args.grid))
     if args.sweep_json:
         Path(args.sweep_json).write_text(report.to_json() + "\n")
     return report.format()
@@ -156,9 +166,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--grid",
-        choices=sorted(GRIDS),
+        choices=sorted(GRIDS) + sorted(LOCALIZE_GRIDS),
         default="smoke",
-        help="named grid for the sweep command (default smoke)",
+        help=(
+            "named grid for the sweep command: a detection grid or a "
+            "localization grid (default smoke)"
+        ),
     )
     parser.add_argument(
         "--sweep-json",

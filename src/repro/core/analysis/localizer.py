@@ -24,7 +24,7 @@ from ...errors import AnalysisError
 from ...instruments.spectrum_analyzer import SpectrumAnalyzer
 from ..array import ProgrammableSensorArray
 from ..sensors import quadrant_coil
-from .spectral import sideband_amplitudes
+from .spectral import added_sideband_scores, sideband_amplitudes
 
 #: Quadrant labels used by the refinement step.
 QUADRANTS = ("sw", "se", "nw", "ne")
@@ -68,15 +68,22 @@ class Localizer:
         The sensor array to measure with.
     analyzer:
         Spectrum analyzer model.
+    batched:
+        Render the quadrant refinement as one engine pass over every
+        (quadrant coil, record) capture (the default).  ``False``
+        keeps the per-quadrant render loop as a reference path; both
+        produce bit-identical quadrant scores.
     """
 
     def __init__(
         self,
         psa: ProgrammableSensorArray,
         analyzer: Optional[SpectrumAnalyzer] = None,
+        batched: bool = True,
     ):
         self.psa = psa
         self.analyzer = analyzer or SpectrumAnalyzer()
+        self.batched = batched
 
     # -- feature helpers ---------------------------------------------------------
 
@@ -129,7 +136,22 @@ class Localizer:
         active_records: Sequence[ActivityRecord],
         refine: bool = True,
     ) -> LocalizationResult:
-        """Run the full localization stage."""
+        """Run the full localization stage.
+
+        Parameters
+        ----------
+        baseline_records, active_records:
+            Matched Trojan-inactive / Trojan-active activity records.
+        refine:
+            Reprogram the hot sensor into four quadrant coils and
+            narrow the estimate to a quadrant center (~170 um).
+
+        Returns
+        -------
+        LocalizationResult
+            Hot sensor, score map [V], margin [dB], optional quadrant
+            refinement and the position estimate [m].
+        """
         scores = self.score_map(baseline_records, active_records)
         order = np.argsort(scores)
         hot = int(order[-1])
@@ -167,8 +189,17 @@ class Localizer:
     ) -> Dict[str, float]:
         """Reprogram quadrant coils and score them.
 
-        Each quadrant coil is programmed once and measured over both
-        populations in a single batched render.
+        The batched path renders all four quadrant coils over both
+        populations in **one** engine pass (a coupling stack, one
+        receiver row per quadrant) and extracts every band feature in
+        one vectorized display pass; the per-quadrant render loop is
+        retained as the reference path (``batched=False``).  Both
+        produce bit-identical scores.
+
+        Returns
+        -------
+        dict
+            Added sideband amplitude [V] per quadrant label.
         """
         config = self.psa.config
         n_base = len(baseline_records)
@@ -176,6 +207,20 @@ class Localizer:
         indices = list(range(n_base)) + [
             2000 + i for i in range(len(active_records))
         ]
+        if self.batched:
+            coils = [quadrant_coil(sensor_index, which) for which in QUADRANTS]
+            batched = added_sideband_scores(
+                self.psa,
+                self.analyzer,
+                coils,
+                baseline_records,
+                active_records,
+                active_offset=2000,
+            )
+            return {
+                which: float(score)
+                for which, score in zip(QUADRANTS, batched)
+            }
         scores: Dict[str, float] = {}
         for which in QUADRANTS:
             coil = quadrant_coil(sensor_index, which)

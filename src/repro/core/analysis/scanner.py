@@ -11,7 +11,12 @@ the Trojan position without any precommitted sensor layout.
 Each level programs five overlapping child windows of roughly half the
 parent's size (four corners + center), scores each by the *added*
 sideband amplitude between Trojan-active and Trojan-inactive captures,
-and descends into the argmax.
+and descends into the argmax.  A level is rendered as **one batched
+engine pass** over every (window, record) capture — the windows'
+coupling geometries are content-cached per synthesized coil, so
+revisited windows cost nothing to rebuild — and the scores are
+bit-identical to the retained sequential per-(coil, record) reference
+path (``AdaptiveScanner(batched=False)``).
 
 The scan is a *coarse* stage: thin-loop responses near window edges
 bias the descent by up to ~2 lattice pitches per level, so the
@@ -35,7 +40,7 @@ from ...instruments.spectrum_analyzer import SpectrumAnalyzer
 from ..array import ProgrammableSensorArray
 from ..coil import Coil, synthesize_rect_coil
 from ..grid import N_WIRES, PITCH
-from .spectral import sideband_amplitude
+from .spectral import added_sideband_scores, sideband_amplitude
 
 
 @dataclass(frozen=True)
@@ -110,6 +115,12 @@ class AdaptiveScanner:
     turns:
         Turns per scan coil (1 keeps the response monotonic in
         containment; see :func:`repro.core.sensors.quadrant_coil`).
+    batched:
+        Render each level's candidate windows as one batched engine
+        pass over every (window, record) capture (the default).  The
+        sequential per-(coil, record) path is retained as the
+        reference implementation — both produce bit-identical scores
+        and therefore identical descents.
     """
 
     def __init__(
@@ -118,6 +129,7 @@ class AdaptiveScanner:
         analyzer: Optional[SpectrumAnalyzer] = None,
         min_size: int = 6,
         turns: int = 1,
+        batched: bool = True,
     ):
         if min_size < 2:
             raise AnalysisError("min_size must be >= 2 pitches")
@@ -125,6 +137,7 @@ class AdaptiveScanner:
         self.analyzer = analyzer or SpectrumAnalyzer()
         self.min_size = min_size
         self.turns = turns
+        self.batched = batched
 
     # -- scoring -----------------------------------------------------------------
 
@@ -143,6 +156,11 @@ class AdaptiveScanner:
         baseline_records: Sequence[ActivityRecord],
         active_records: Sequence[ActivityRecord],
     ) -> float:
+        """Added sideband amplitude [V] through one window.
+
+        The sequential reference path: one single-capture render, one
+        display spectrum and one band feature per (record, population).
+        """
         config = self.psa.config
         base = [
             sideband_amplitude(
@@ -163,6 +181,35 @@ class AdaptiveScanner:
             for idx, record in enumerate(active_records)
         ]
         return float(np.mean(active) - np.mean(base))
+
+    def _score_windows(
+        self,
+        coils: Sequence[Coil],
+        baseline_records: Sequence[ActivityRecord],
+        active_records: Sequence[ActivityRecord],
+    ) -> List[float]:
+        """Added sideband amplitude [V] of every window of one level.
+
+        The batched path renders all (window, record) captures of the
+        level in one engine pass (``measure_coils_batch`` over a
+        coupling stack) and extracts every band feature in one
+        vectorized display-spectrum pass; scores are bit-identical to
+        the sequential :meth:`_score` per window.
+        """
+        if not self.batched:
+            return [
+                self._score(coil, baseline_records, active_records)
+                for coil in coils
+            ]
+        scores = added_sideband_scores(
+            self.psa,
+            self.analyzer,
+            coils,
+            baseline_records,
+            active_records,
+            active_offset=3000,
+        )
+        return [float(score) for score in scores]
 
     # -- descent -----------------------------------------------------------------
 
@@ -204,6 +251,11 @@ class AdaptiveScanner:
         start:
             Root window ``(col0, row0, size)`` — the whole lattice by
             default.
+
+        Returns
+        -------
+        ScanResult
+            Final position estimate [m] plus the full descent history.
         """
         if not baseline_records or not active_records:
             raise AnalysisError("need records for both populations")
@@ -211,15 +263,18 @@ class AdaptiveScanner:
         levels: List[List[ScanWindow]] = []
         path: List[ScanWindow] = []
         while size > self.min_size:
-            candidates = []
-            for c_col, c_row, c_size in self._children(col0, row0, size):
-                coil = self._window_coil(c_col, c_row, c_size)
-                score = self._score(coil, baseline_records, active_records)
-                candidates.append(
-                    ScanWindow(
-                        col0=c_col, row0=c_row, size=c_size, score=score
-                    )
-                )
+            children = self._children(col0, row0, size)
+            coils = [
+                self._window_coil(c_col, c_row, c_size)
+                for c_col, c_row, c_size in children
+            ]
+            scores = self._score_windows(
+                coils, baseline_records, active_records
+            )
+            candidates = [
+                ScanWindow(col0=c_col, row0=c_row, size=c_size, score=score)
+                for (c_col, c_row, c_size), score in zip(children, scores)
+            ]
             levels.append(candidates)
             best = max(candidates, key=lambda window: window.score)
             path.append(best)

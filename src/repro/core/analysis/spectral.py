@@ -145,6 +145,68 @@ def sideband_feature_db(
     return float(20.0 * np.log10(max(sb, floor) / 1e-6))
 
 
+def added_sideband_scores(
+    psa,
+    analyzer,
+    coils,
+    baseline_records: Sequence,
+    active_records: Sequence,
+    active_offset: int,
+) -> np.ndarray:
+    """Added sideband amplitude [V] per programmed coil, batched.
+
+    The shared scoring kernel of the localization stages (quadrant
+    refinement, adaptive scan levels): every (coil, record) capture of
+    both populations renders as **one** engine pass
+    (``psa.measure_coils_batch`` over a coupling stack), the display
+    spectra and band features are extracted in one vectorized pass,
+    and each coil scores ``mean(active) - mean(baseline)``.
+
+    Bit-identical to the sequential per-(coil, record) loops: single
+    captures render the same samples inside any batch (the engine's
+    determinism contract), rows of the batched display/feature pass
+    equal the per-trace spectra, and the mean-difference uses the same
+    reduction.
+
+    Parameters
+    ----------
+    psa:
+        The :class:`~repro.core.array.ProgrammableSensorArray` to
+        render through.
+    analyzer:
+        The :class:`~repro.instruments.spectrum_analyzer.SpectrumAnalyzer`
+        providing the display transform.
+    coils:
+        Programmed coils to score, one receiver row each.
+    baseline_records, active_records:
+        Matched Trojan-inactive / Trojan-active activity records.
+    active_offset:
+        RNG trace-index offset of the active population (baseline
+        captures use ``0..n-1``).
+
+    Returns
+    -------
+    numpy.ndarray
+        One added-amplitude score [V] per coil, in ``coils`` order.
+    """
+    config = psa.config
+    n_base = len(baseline_records)
+    records = list(baseline_records) + list(active_records)
+    indices = list(range(n_base)) + [
+        active_offset + idx for idx in range(len(active_records))
+    ]
+    batch = psa.measure_coils_batch(coils, records, trace_indices=indices)
+    grid, display = analyzer.display_matrix(
+        batch.samples.reshape(-1, batch.n_samples), batch.fs
+    )
+    amps = sideband_amplitudes(grid, display, config).reshape(
+        len(coils), len(records)
+    )
+    return np.array(
+        [float(np.mean(row[n_base:]) - np.mean(row[:n_base])) for row in amps]
+    )
+
+
 def find_prominent_components(
     active: Spectrum,
     baseline: Spectrum,

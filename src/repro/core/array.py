@@ -21,7 +21,7 @@ from ..calibration import COUPLING_SCALE
 from ..chip.power import ActivityRecord
 from ..chip.testchip import TestChip
 from ..em.amplifier import MeasurementAmplifier
-from ..em.coupling import CouplingMatrix
+from ..em.coupling import CouplingMatrix, CouplingStack
 from ..engine import MeasurementEngine, TraceBatch
 from ..errors import MeasurementError
 from ..traces import Trace
@@ -161,6 +161,21 @@ class ProgrammableSensorArray:
 
         The coil is programmed onto the lattice for the duration of the
         render (ownership-checked) and released afterwards.
+
+        Parameters
+        ----------
+        coil:
+            The synthesized coil to measure through.
+        records:
+            One activity record per capture, or a single record reused
+            for every capture.
+        trace_indices:
+            RNG stream index per capture (defaults to ``0..n-1``).
+
+        Returns
+        -------
+        TraceBatch
+            ``(1, n_traces, n_samples)`` samples of the programmed coil.
         """
         coil.program(self.grid)
         try:
@@ -169,6 +184,60 @@ class ProgrammableSensorArray:
             )
         finally:
             coil.release(self.grid)
+
+    def measure_coils_batch(
+        self,
+        coils: Sequence[Coil],
+        records: Sequence[ActivityRecord],
+        trace_indices: Optional[Sequence[int]] = None,
+    ) -> TraceBatch:
+        """Render a batch of captures from several ad-hoc programmed coils.
+
+        The physical array measures programmed windows sequentially
+        (overlapping windows cannot even coexist on the lattice), so
+        each coil is programmed and released in turn — the ownership
+        check still guards against unsynthesizable windows — while the
+        *simulation* renders every (coil, record) capture in a single
+        engine pass over a :class:`~repro.em.coupling.CouplingStack`.
+
+        Each coil's coupling geometry is built (and content-cached)
+        independently, so windows revisited across calls — quadrant
+        coils, repeated scan levels — never recompute their flux
+        integrals, and every rendered row is bit-identical to
+        :meth:`measure_coil` of that (coil, record, trace_index).
+
+        Parameters
+        ----------
+        coils:
+            The synthesized coils, one receiver row each, in order.
+            Names must be unique (they key RNG streams and coupling
+            cache entries).
+        records:
+            One activity record per capture, or a single record reused
+            for every capture.
+        trace_indices:
+            RNG stream index per capture (defaults to ``0..n-1``).
+
+        Returns
+        -------
+        TraceBatch
+            ``(n_coils, n_traces, n_samples)`` samples, coil order
+            preserved.
+        """
+        coils = list(coils)
+        if not coils:
+            raise MeasurementError("no coils to render")
+        names = [coil.name for coil in coils]
+        if len(set(names)) != len(names):
+            duplicate = next(n for n in names if names.count(n) > 1)
+            raise MeasurementError(
+                f"duplicate coil name {duplicate!r} in batched render"
+            )
+        for coil in coils:
+            coil.program(self.grid)
+            coil.release(self.grid)
+        stack = CouplingStack([self._coupling_for(coil) for coil in coils])
+        return self.engine.render(stack, records, trace_indices=trace_indices)
 
     # -- single-capture wrappers -----------------------------------------------
 

@@ -48,11 +48,13 @@ class SerialBackend:
 
     @property
     def parallelism(self) -> int:
+        """Always one shard: the render stays in-process."""
         return 1
 
     def map(
         self, fn: Callable[[_P], _R], payloads: Sequence[_P]
     ) -> List[_R]:
+        """Evaluate ``fn`` over payloads in order, in-process."""
         return [fn(payload) for payload in payloads]
 
 
@@ -82,6 +84,7 @@ class ProcessBackend:
 
     @property
     def parallelism(self) -> int:
+        """One shard per pool worker."""
         return self.max_workers
 
     def _pool(self) -> ProcessPoolExecutor:
@@ -106,6 +109,7 @@ class ProcessBackend:
     def map(
         self, fn: Callable[[_P], _R], payloads: Sequence[_P]
     ) -> List[_R]:
+        """Evaluate ``fn`` over payloads on the pool, preserving order."""
         if len(payloads) <= 1:
             return [fn(payload) for payload in payloads]
         return list(self._pool().map(fn, payloads))
@@ -115,7 +119,26 @@ def resolve_backend(
     backend: "str | ExecutionBackend | None",
     workers: int = 0,
 ) -> ExecutionBackend:
-    """Turn a config/CLI backend spec into a backend instance."""
+    """Turn a config/CLI backend spec into a backend instance.
+
+    Parameters
+    ----------
+    backend:
+        A backend instance (returned as-is), a name (``"serial"`` /
+        ``"process"``), or None for the serial reference backend.
+    workers:
+        Worker count for the process backend (0 = machine CPU count).
+
+    Returns
+    -------
+    ExecutionBackend
+        The resolved backend.
+
+    Raises
+    ------
+    ConfigError
+        For unknown backend names.
+    """
     if backend is None:
         return SerialBackend()
     if not isinstance(backend, str):

@@ -44,7 +44,7 @@ from scipy import fft as scipy_fft
 from ..chip.power import ActivityRecord
 from ..config import SimConfig
 from ..em.amplifier import MeasurementAmplifier
-from ..em.coupling import CouplingMatrix, Receiver, emf_rfft
+from ..em.coupling import CouplingMatrix, CouplingStack, Receiver, emf_rfft
 from ..em.noise import (
     NoiseModel,
     add_tone_spectrum,
@@ -201,7 +201,7 @@ class MeasurementEngine:
 
     def render(
         self,
-        coupling: CouplingMatrix,
+        coupling: "CouplingMatrix | CouplingStack",
         records: Sequence[ActivityRecord],
         trace_indices: Optional[Sequence[int]] = None,
         receiver_indices: Optional[Sequence[int]] = None,
@@ -211,7 +211,11 @@ class MeasurementEngine:
         Parameters
         ----------
         coupling:
-            Coupling matrix of the candidate receivers.
+            Coupling matrix of the candidate receivers, or a
+            :class:`~repro.em.coupling.CouplingStack` of independently
+            synthesized coils (arbitrary programmed windows render in
+            one batch, each row bit-identical to its standalone
+            render).
         records:
             Either one record per capture, or a single record reused
             for every capture (fresh noise per trace index).
@@ -219,6 +223,12 @@ class MeasurementEngine:
             RNG stream index per capture (defaults to ``0..n-1``).
         receiver_indices:
             Subset of ``coupling.receivers`` to render (default: all).
+
+        Returns
+        -------
+        TraceBatch
+            ``(n_receivers, n_traces, n_samples)`` voltage samples plus
+            per-receiver/per-capture metadata.
         """
         records = list(records)
         if not records:
@@ -267,7 +277,7 @@ class MeasurementEngine:
 
     def _dispatch(
         self,
-        coupling: CouplingMatrix,
+        coupling: "CouplingMatrix | CouplingStack",
         records: List[ActivityRecord],
         trace_indices: List[int],
         receiver_indices: List[int],
@@ -315,7 +325,7 @@ class MeasurementEngine:
 
     def _render_serial(
         self,
-        coupling: CouplingMatrix,
+        coupling: "CouplingMatrix | CouplingStack",
         records: List[ActivityRecord],
         trace_indices: List[int],
         receiver_indices: List[int],

@@ -3,6 +3,12 @@
 For each Trojan, the per-sensor sideband score map must peak at
 sensor 10 (where the Trojans live), sensor 0 must stay quiet, and the
 quadrant refinement must point at the correct quadrant of sensor 10.
+
+This is a thin adapter over the localization sweep
+(:class:`~repro.sweep.localize.LocalizationSweep`): one grid of four
+cells at the paper's implant position, with the per-Trojan
+:class:`~repro.core.analysis.localizer.LocalizationResult` details
+surfaced unchanged.
 """
 
 from __future__ import annotations
@@ -10,18 +16,19 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional
 
-import numpy as np
-
-from ..core.analysis.localizer import LocalizationResult, Localizer
-from ..workloads.scenarios import reference_for, scenario_by_name
+from ..chip.floorplan import DEFAULT_TROJAN_SENSOR
+from ..core.analysis.localizer import LocalizationResult
+from ..sweep.localize import (
+    EXPECTED_QUADRANTS,
+    LocalizationSweep,
+    LocalizeCell,
+    LocalizeGrid,
+)
 from .context import ExperimentContext, default_context
 from .reporting import format_table
 
-#: Ground truth from the floorplan (one Trojan per sensor-10 quadrant).
-EXPECTED_QUADRANTS = {"T1": "nw", "T2": "ne", "T3": "sw", "T4": "se"}
-
-#: The sensor hosting every Trojan.
-EXPECTED_SENSOR = 10
+#: The sensor hosting every Trojan on the paper's chip.
+EXPECTED_SENSOR = DEFAULT_TROJAN_SENSOR
 
 
 @dataclass(frozen=True)
@@ -51,18 +58,27 @@ def run_localization(
     n_records: int = 3,
     refine: bool = True,
 ) -> LocalizationExperimentResult:
-    """Localize each Trojan from matched active/inactive populations."""
+    """Localize each Trojan from matched active/inactive populations.
+
+    A thin preset over the localization sweep: one cell per Trojan at
+    the paper's implant position, reusing the context's chip/PSA, with
+    the same record populations (baseline epoch 0, active epoch 500)
+    as the legacy per-Trojan loop.
+    """
     ctx = ctx or default_context()
-    localizer = Localizer(ctx.psa)
-    results = {}
-    for trojan in EXPECTED_QUADRANTS:
-        reference = reference_for(trojan)
-        scenario = scenario_by_name(trojan)
-        base = [ctx.campaign.record(reference, i) for i in range(n_records)]
-        active = [
-            ctx.campaign.record(scenario, 500 + i) for i in range(n_records)
-        ]
-        results[trojan] = localizer.localize(base, active, refine=refine)
+    grid = LocalizeGrid(
+        name="experiment",
+        cells=tuple(
+            LocalizeCell(trojan=trojan, n_records=n_records, refine=refine)
+            for trojan in EXPECTED_QUADRANTS
+        ),
+        keep_details=True,
+    )
+    sweep = LocalizationSweep(ctx.config, campaign=ctx.campaign)
+    report = sweep.run(grid)
+    results = {
+        cell.trojan: cell.details[0] for cell in report.cells
+    }
     return LocalizationExperimentResult(results=results)
 
 

@@ -1,10 +1,14 @@
-"""Structured results of a detection sweep.
+"""Structured results of detection and localization sweeps.
 
-Every cell reports the full reference-free detection scorecard — per
-sensor ROC-AUC, detection rate at the operating threshold, effect size
-with the derived required-measurement count, and the alarm/MTTD
-timeline — and the :class:`SweepReport` renders the grid as JSON or as
-the plain-text table the CLI prints.
+Every detection cell reports the full reference-free detection
+scorecard — per sensor ROC-AUC, detection rate at the operating
+threshold, effect size with the derived required-measurement count,
+and the alarm/MTTD timeline.  Every localization cell reports the
+reference-free localization scorecard — hit-rate over its repeats,
+localization error [um], score-map margin [dB] and programmed
+measurement windows to converge.  The :class:`SweepReport` carries
+either kind of cell (or a mix) and renders the grid as JSON or as the
+plain-text tables the CLI prints.
 """
 
 from __future__ import annotations
@@ -97,9 +101,15 @@ class SweepCellResult:
         """Whether the paper's <10 ms / <10 traces budget is met."""
         return self.mttd.within(BUDGET_SECONDS, BUDGET_TRACES)
 
+    @property
+    def success(self) -> bool:
+        """Whether the cell achieved its goal (a true detection)."""
+        return self.mttd.detected
+
     def to_dict(self) -> Dict[str, object]:
         """JSON-ready representation."""
         payload: Dict[str, object] = {
+            "kind": "detection",
             "label": self.label,
             "trojan": self.trojan,
             "reference": self.reference,
@@ -132,6 +142,136 @@ class SweepCellResult:
 
 
 @dataclass(frozen=True)
+class LocalizeOutcome:
+    """One localization repeat inside a cell.
+
+    Attributes
+    ----------
+    hit:
+        Whether the flow localized to the true host sensor (and, when
+        refinement ran, the true quadrant).
+    sensor_index:
+        The hot sensor the score map selected.
+    quadrant:
+        Refined quadrant (None when refinement was disabled).
+    margin_db:
+        Score-map gap between the hot sensor and the runner-up [dB].
+    error_um:
+        Distance between the position estimate and the true Trojan
+        center [um].
+    windows:
+        Programmed measurement windows used by the whole flow (score
+        map + refinement + optional adaptive scan).
+    scan_windows:
+        Windows used by the adaptive coarse scan (None = scan off).
+    scan_error_um:
+        Coarse-scan position error [um] (None = scan off).
+    """
+
+    hit: bool
+    sensor_index: int
+    quadrant: Optional[str]
+    margin_db: float
+    error_um: float
+    windows: int
+    scan_windows: Optional[int] = None
+    scan_error_um: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class LocalizeCellResult:
+    """Evaluation of one localization grid cell.
+
+    Attributes
+    ----------
+    label, trojan, reference:
+        Cell identity (see :class:`~repro.sweep.localize.LocalizeCell`).
+    host_sensor:
+        Sensor the Trojan cluster was implanted under (ground truth).
+    expected_quadrant:
+        True quadrant of the Trojan inside the host sensor (None when
+        refinement was disabled).
+    outcomes:
+        Per-repeat outcomes, in repeat order.
+    details:
+        The underlying per-repeat
+        :class:`~repro.core.analysis.localizer.LocalizationResult`
+        objects (None unless the grid keeps details).
+    """
+
+    label: str
+    trojan: str
+    reference: str
+    host_sensor: int
+    expected_quadrant: Optional[str]
+    outcomes: Tuple[LocalizeOutcome, ...]
+    details: Optional[Tuple[object, ...]] = None
+
+    def __post_init__(self) -> None:
+        if not self.outcomes:
+            raise AnalysisError("localization cell has no outcomes")
+
+    @property
+    def n_repeats(self) -> int:
+        """Localization repeats evaluated for the cell."""
+        return len(self.outcomes)
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of repeats that localized to the true site."""
+        return sum(o.hit for o in self.outcomes) / len(self.outcomes)
+
+    @property
+    def mean_error_um(self) -> float:
+        """Mean localization error across repeats [um]."""
+        return float(np.mean([o.error_um for o in self.outcomes]))
+
+    @property
+    def mean_margin_db(self) -> float:
+        """Mean hot-sensor margin across repeats [dB]."""
+        return float(np.mean([o.margin_db for o in self.outcomes]))
+
+    @property
+    def mean_windows(self) -> float:
+        """Mean programmed measurement windows per repeat."""
+        return float(np.mean([o.windows for o in self.outcomes]))
+
+    @property
+    def success(self) -> bool:
+        """Whether every repeat localized to the true site."""
+        return all(o.hit for o in self.outcomes)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready representation."""
+        return {
+            "kind": "localize",
+            "label": self.label,
+            "trojan": self.trojan,
+            "reference": self.reference,
+            "host_sensor": self.host_sensor,
+            "expected_quadrant": self.expected_quadrant,
+            "n_repeats": self.n_repeats,
+            "hit_rate": self.hit_rate,
+            "mean_error_um": self.mean_error_um,
+            "mean_margin_db": self.mean_margin_db,
+            "mean_windows": self.mean_windows,
+            "outcomes": [
+                {
+                    "hit": outcome.hit,
+                    "sensor_index": outcome.sensor_index,
+                    "quadrant": outcome.quadrant,
+                    "margin_db": _json_float(outcome.margin_db),
+                    "error_um": outcome.error_um,
+                    "windows": outcome.windows,
+                    "scan_windows": outcome.scan_windows,
+                    "scan_error_um": outcome.scan_error_um,
+                }
+                for outcome in self.outcomes
+            ],
+        }
+
+
+@dataclass(frozen=True)
 class SweepReport:
     """Results of one grid evaluation.
 
@@ -140,26 +280,33 @@ class SweepReport:
     grid:
         Grid name.
     trace_period_s:
-        Capture + processing cadence used for MTTD accounting.
+        Capture + processing cadence used for MTTD accounting (also
+        the per-window capture cadence of localization cells).
     cells:
-        Per-cell results, in grid order.
+        Per-cell results, in grid order — detection cells
+        (:class:`SweepCellResult`), localization cells
+        (:class:`LocalizeCellResult`), or a mix.
     """
 
     grid: str
     trace_period_s: float
-    cells: Tuple[SweepCellResult, ...]
+    cells: Tuple["SweepCellResult | LocalizeCellResult", ...]
 
     @property
     def all_detected(self) -> bool:
-        """Every cell raised a (true) alarm."""
-        return all(cell.mttd.detected for cell in self.cells)
+        """Every cell succeeded (true alarm / every-repeat hit)."""
+        return all(cell.success for cell in self.cells)
 
     @property
     def all_within_budget(self) -> bool:
-        """Every cell met the paper's latency budget."""
-        return all(cell.within_budget for cell in self.cells)
+        """Every detection cell met the paper's latency budget."""
+        return all(
+            cell.within_budget
+            for cell in self.cells
+            if isinstance(cell, SweepCellResult)
+        )
 
-    def cell(self, label: str) -> SweepCellResult:
+    def cell(self, label: str) -> "SweepCellResult | LocalizeCellResult":
         """Look up a cell result by label."""
         for result in self.cells:
             if result.label == label:
@@ -167,13 +314,23 @@ class SweepReport:
         raise AnalysisError(f"sweep report has no cell {label!r}")
 
     def to_dict(self) -> Dict[str, object]:
-        """JSON-ready representation of the whole report."""
+        """JSON-ready representation of the whole report.
+
+        ``all_within_budget`` is ``None`` when the grid holds no
+        detection cells (no latency was measured, so a boolean would
+        be vacuous).
+        """
+        has_detection = any(
+            isinstance(cell, SweepCellResult) for cell in self.cells
+        )
         return {
             "grid": self.grid,
             "trace_period_s": self.trace_period_s,
             "n_cells": len(self.cells),
             "all_detected": self.all_detected,
-            "all_within_budget": self.all_within_budget,
+            "all_within_budget": (
+                self.all_within_budget if has_detection else None
+            ),
             "cells": [cell.to_dict() for cell in self.cells],
         }
 
@@ -182,11 +339,29 @@ class SweepReport:
         return json.dumps(self.to_dict(), indent=indent)
 
     def format(self) -> str:
-        """Render the grid as the CLI's plain-text table."""
+        """Render the grid as the CLI's plain-text table(s).
+
+        Detection and localization cells each render their own table;
+        a mixed grid prints both, in that order.
+        """
+        detection = [
+            cell for cell in self.cells if isinstance(cell, SweepCellResult)
+        ]
+        localize = [
+            cell for cell in self.cells if isinstance(cell, LocalizeCellResult)
+        ]
+        sections: List[str] = []
+        if detection:
+            sections.append(self._format_detection(detection))
+        if localize:
+            sections.append(self._format_localize(localize))
+        return "\n\n".join(sections)
+
+    def _format_detection(self, cells: List["SweepCellResult"]) -> str:
         from ..experiments.reporting import format_table
 
         rows: List[Tuple[object, ...]] = []
-        for cell in self.cells:
+        for cell in cells:
             best = cell.best
             mttd = cell.mttd
             if mttd.detected:
@@ -209,7 +384,7 @@ class SweepReport:
                 )
             )
         header = (
-            f"Detection sweep — grid {self.grid!r} ({len(self.cells)} cells, "
+            f"Detection sweep — grid {self.grid!r} ({len(cells)} cells, "
             f"trace period {self.trace_period_s * 1e3:.2f} ms)\n"
         )
         return header + format_table(
@@ -222,6 +397,47 @@ class SweepReport:
                 "traces",
                 "MTTD",
                 "budget",
+            ],
+            rows,
+        )
+
+    def _format_localize(self, cells: List["LocalizeCellResult"]) -> str:
+        from ..experiments.reporting import format_table
+
+        rows: List[Tuple[object, ...]] = []
+        for cell in cells:
+            scan_windows = [
+                o.scan_windows for o in cell.outcomes
+                if o.scan_windows is not None
+            ]
+            rows.append(
+                (
+                    cell.label,
+                    f"s{cell.host_sensor}",
+                    cell.expected_quadrant or "-",
+                    f"{cell.hit_rate:.0%}",
+                    f"{cell.mean_error_um:.0f}",
+                    f"{cell.mean_margin_db:.1f}",
+                    f"{cell.mean_windows:.0f}",
+                    f"{float(np.mean(scan_windows)):.0f}" if scan_windows else "-",
+                    "yes" if cell.success else "NO",
+                )
+            )
+        header = (
+            f"Localization sweep — grid {self.grid!r} ({len(cells)} cells, "
+            f"window period {self.trace_period_s * 1e3:.2f} ms)\n"
+        )
+        return header + format_table(
+            [
+                "cell",
+                "host",
+                "quad",
+                "hit-rate",
+                "err [um]",
+                "margin [dB]",
+                "windows",
+                "scan-win",
+                "ok",
             ],
             rows,
         )

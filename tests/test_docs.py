@@ -1,0 +1,91 @@
+"""Docs-site integrity: cheap strict-build preconditions.
+
+CI builds the site with ``mkdocs build --strict``; these checks catch
+the common strict-mode failures without needing the docs toolchain
+installed — every nav page exists, every mkdocstrings identifier
+imports, and every relative markdown link resolves.
+"""
+
+from __future__ import annotations
+
+import importlib
+import re
+from pathlib import Path
+
+import pytest
+
+yaml = pytest.importorskip("yaml")
+
+REPO = Path(__file__).resolve().parent.parent
+DOCS = REPO / "docs"
+MKDOCS_YML = REPO / "mkdocs.yml"
+
+
+def _load_config() -> dict:
+    # mkdocs.yml uses python-name tags in some setups; ours is plain YAML.
+    return yaml.safe_load(MKDOCS_YML.read_text())
+
+
+def _nav_paths(node) -> list:
+    if isinstance(node, str):
+        return [node]
+    if isinstance(node, list):
+        return [path for item in node for path in _nav_paths(item)]
+    if isinstance(node, dict):
+        return [path for value in node.values() for path in _nav_paths(value)]
+    return []
+
+
+def test_nav_pages_exist():
+    config = _load_config()
+    paths = _nav_paths(config["nav"])
+    assert paths, "mkdocs nav is empty"
+    for path in paths:
+        assert (DOCS / path).is_file(), f"nav page missing: docs/{path}"
+
+
+def test_mkdocstrings_identifiers_import():
+    pattern = re.compile(r"^::: ([\w.]+)$", re.MULTILINE)
+    found = 0
+    for page in DOCS.rglob("*.md"):
+        for identifier in pattern.findall(page.read_text()):
+            found += 1
+            parts = identifier.split(".")
+            # Longest importable prefix must exist, and any remaining
+            # parts must be attributes along the way.
+            obj = None
+            for split in range(len(parts), 0, -1):
+                try:
+                    obj = importlib.import_module(".".join(parts[:split]))
+                except ImportError:
+                    continue
+                remainder = parts[split:]
+                break
+            assert obj is not None, f"cannot import {identifier} ({page})"
+            for attribute in remainder:
+                obj = getattr(obj, attribute, None)
+                assert obj is not None, (
+                    f"{identifier} has no attribute {attribute!r} ({page})"
+                )
+    assert found >= 10, "expected an API reference with many identifiers"
+
+
+def test_relative_markdown_links_resolve():
+    link = re.compile(r"\]\((?!https?://|#|mailto:)([^)#\s]+)")
+    for page in DOCS.rglob("*.md"):
+        for target in link.findall(page.read_text()):
+            resolved = (page.parent / target).resolve()
+            assert resolved.exists(), f"{page}: broken link {target}"
+
+
+def test_readme_links_resolve():
+    link = re.compile(r"\]\((?!https?://|#|mailto:)([^)#\s]+)")
+    readme = REPO / "README.md"
+    for target in link.findall(readme.read_text()):
+        assert (REPO / target).exists(), f"README: broken link {target}"
+
+
+def test_docs_extra_declared():
+    pyproject = (REPO / "pyproject.toml").read_text()
+    assert "mkdocs-material" in pyproject
+    assert "mkdocstrings[python]" in pyproject
