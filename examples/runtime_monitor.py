@@ -1,23 +1,39 @@
 #!/usr/bin/env python
-"""Run-time monitoring with the RASC-style on-board processor.
+"""Run-time monitoring through the streaming subsystem.
 
-Simulates deployment: the monitor watches sensor 10 while the chip
-encrypts normally; the T4 DoS Trojan is externally enabled mid-stream;
-the golden-model-free detector alarms within a couple of traces.
+Simulates deployment with ``repro.runtime``: a scripted activation
+schedule (normal encryption, then the T4 DoS Trojan enabled
+mid-stream) renders on demand through the batched engine, and the
+escalation pipeline walks the paper's flow — golden-model-free
+detection, zero-span identification, quadrant localization — emitting
+a typed event per stage.
+
+The same session is available from the command line::
+
+    repro monitor --preset smoke            # single chip
+    repro monitor --preset paper --fleet 4  # four chips, concurrently
 
 Run:
     python examples/runtime_monitor.py
 """
 
-from repro import ProgrammableSensorArray, SimConfig, SpectrumAnalyzer, TestChip
-from repro.core.analysis.detector import DetectorConfig, RuntimeDetector
-from repro.core.analysis.mttd import MttdModel, mttd_from_alarm
-from repro.core.analysis.spectral import sideband_feature_db
-from repro.instruments.rasc import RascMonitor
+from repro import ProgrammableSensorArray, SimConfig, TestChip
+from repro.core.analysis.detector import DetectorConfig
+from repro.core.analysis.localizer import Localizer
+from repro.runtime import (
+    ActivationSchedule,
+    EscalationPipeline,
+    EventBus,
+    LiveSource,
+    PipelineConfig,
+    TrojanIdentified,
+    TrojanLocalized,
+)
 from repro.workloads.campaign import MeasurementCampaign
-from repro.workloads.scenarios import scenario_by_name
 
-TRIGGER_AT = 8  # trace index of the Trojan activation
+N_BASELINE = 8  # quiet windows before the Trojan is enabled
+N_ACTIVE = 4  # windows with the T4 payload firing
+WARMUP = 6  # detector warm-up windows
 
 
 def main() -> None:
@@ -25,42 +41,48 @@ def main() -> None:
     chip = TestChip(key=bytes(range(16)), config=config)
     psa = ProgrammableSensorArray(chip)
     campaign = MeasurementCampaign(chip, psa)
-    analyzer = SpectrumAnalyzer()
 
-    def feature(trace):
-        return sideband_feature_db(analyzer.spectrum(trace), config)
+    # The scripted session: baseline workload, then T4 enabled.  The
+    # schedule (not hand-rolled bookkeeping) owns the trigger index.
+    schedule = ActivationSchedule.step(
+        "T4", n_baseline=N_BASELINE, n_active=N_ACTIVE
+    )
+    source = LiveSource(campaign, schedule, chunk=4)
 
-    # Build the monitoring stream: normal operation, then T4 enabled.
-    stream = []
-    for index in range(TRIGGER_AT):
-        record = campaign.record(scenario_by_name("baseline"), index)
-        stream.append(psa.measure(record, 10, index))
-    for index in range(4):
-        record = campaign.record(scenario_by_name("T4"), 500 + index)
-        stream.append(psa.measure(record, 10, 500 + index))
+    bus = EventBus()
+    bus.subscribe(
+        lambda event: isinstance(event, (TrojanIdentified, TrojanLocalized))
+        and print(f"  event: {event.to_dict()}")
+    )
+    pipeline = EscalationPipeline(
+        config,
+        pipeline=PipelineConfig(detector=DetectorConfig(warmup=WARMUP)),
+        localizer=Localizer(psa),
+        bus=bus,
+    )
+    report = pipeline.run(source)
 
-    detector = RuntimeDetector(DetectorConfig(warmup=6))
-    monitor = RascMonitor(feature, detector)
-    report = monitor.monitor(stream)
-
-    print("trace | sideband feature [dBuV] | state")
-    for index, value in enumerate(report.features_db):
-        if index < 6:
-            state = "warm-up"
-        elif index < TRIGGER_AT:
-            state = "armed, quiet"
-        elif report.alarm_index is not None and index == report.alarm_index:
-            state = "ALARM"
-        else:
-            state = "TROJAN ACTIVE"
-        print(f"  {index:3d} | {value:7.2f}              | {state}")
-
-    mttd = mttd_from_alarm(report.alarm_index, TRIGGER_AT, config, MttdModel())
     print()
-    print(f"trace period : {report.trace_period_s * 1e3:.2f} ms "
-          "(capture + on-board processing)")
+    print("window | sideband feature [dBuV] | state")
+    for window in range(report.n_windows):
+        value = report.features_db[0, window]
+        state = report.state_at(window, warmup=WARMUP)
+        print(f"  {window:4d} | {value:7.2f}               | {state}")
+
+    mttd = report.mttd
+    print()
+    print(
+        f"trace period : {report.trace_period_s * 1e3:.2f} ms "
+        "(capture + on-board processing)"
+    )
     print(f"traces to detect: {mttd.traces_to_detect} (paper: <10)")
     print(f"MTTD         : {mttd.mttd_s * 1e3:.2f} ms (paper: <10 ms)")
+    print(f"identified   : {report.identification.label} (truth: T4)")
+    print(
+        f"localized    : sensor {report.localization.sensor_index}, "
+        f"quadrant {report.localization.quadrant} (truth: sensor 10, se)"
+    )
+    print(f"events       : {report.event_counts}")
 
 
 if __name__ == "__main__":

@@ -19,6 +19,7 @@ import numpy as np
 from ..config import SimConfig
 from ..crypto.key_schedule import expand_key
 from ..crypto.lut_core import AesLutCore
+from ..crypto.sbox import bit_hamming
 from ..errors import WorkloadError
 from ..trojans.base import CycleContext, Trojan
 from ..trojans.t1_am_carrier import T1AmCarrier, T1_TERMINAL
@@ -33,8 +34,8 @@ from .power import ActivityRecord
 TROJAN_NAMES = ("T1", "T2", "T3", "T4")
 
 
-def _hamming(a: np.ndarray, b: np.ndarray) -> int:
-    return int(np.unpackbits(np.bitwise_xor(a, b)).sum())
+#: Hamming distance (popcount lookup, shared with the LUT core).
+_hamming = bit_hamming
 
 
 class TestChip:

@@ -6,18 +6,22 @@ Usage::
     psa-em fig4 --traces 5
     psa-em mttd --backend process --workers 4
     psa-em sweep --grid table1
+    psa-em monitor --preset smoke
+    psa-em monitor --fleet 4 --events fleet.jsonl
     psa-em all
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 from typing import Callable, Dict, List, Optional
 
 from .config import BACKEND_NAMES, SimConfig
 from .experiments.context import ExperimentContext
+from .runtime.presets import MONITOR_PRESETS
 from .sweep.grid import GRIDS
 from .sweep.localize import LOCALIZE_GRIDS
 
@@ -103,6 +107,33 @@ def _cmd_sweep(ctx: ExperimentContext, args: argparse.Namespace) -> str:
     return report.format()
 
 
+def _cmd_monitor(ctx: ExperimentContext, args: argparse.Namespace) -> str:
+    from .runtime import EventBus, JsonlSink, build_fleet
+
+    bus = EventBus()
+    sink = None
+    if args.events:
+        sink = JsonlSink(args.events)
+        bus.subscribe(sink)
+    try:
+        scheduler = build_fleet(
+            args.preset,
+            n_chips=args.fleet,
+            config=ctx.config,
+            bus=bus,
+            queue_depth=args.queue_depth,
+        )
+        report = scheduler.run()
+    finally:
+        if sink is not None:
+            sink.close()
+    if args.monitor_json:
+        Path(args.monitor_json).write_text(
+            json.dumps(report.to_dict(), indent=2) + "\n"
+        )
+    return report.format()
+
+
 def _cmd_ablations(ctx: ExperimentContext, args: argparse.Namespace) -> str:
     from .experiments.ablations import (
         format_ablations,
@@ -129,6 +160,7 @@ _COMMANDS: Dict[str, Callable[[ExperimentContext, argparse.Namespace], str]] = {
     "cost": _cmd_cost,
     "ablations": _cmd_ablations,
     "sweep": _cmd_sweep,
+    "monitor": _cmd_monitor,
 }
 
 
@@ -178,6 +210,45 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         default=None,
         help="also write the sweep report as JSON to PATH",
+    )
+    parser.add_argument(
+        "--preset",
+        choices=sorted(MONITOR_PRESETS),
+        default="paper",
+        help=(
+            "named session script for the monitor command "
+            "(default paper)"
+        ),
+    )
+    parser.add_argument(
+        "--fleet",
+        type=int,
+        default=1,
+        help=(
+            "chips monitored concurrently by the monitor command "
+            "(default 1; fleets cycle the T1..T4 catalog)"
+        ),
+    )
+    parser.add_argument(
+        "--queue-depth",
+        type=int,
+        default=2,
+        help=(
+            "monitor backpressure bound: rendered-but-unprocessed "
+            "chunks per chip (default 2)"
+        ),
+    )
+    parser.add_argument(
+        "--events",
+        metavar="PATH",
+        default=None,
+        help="write the monitor session's event log as JSONL to PATH",
+    )
+    parser.add_argument(
+        "--monitor-json",
+        metavar="PATH",
+        default=None,
+        help="also write the monitor fleet report as JSON to PATH",
     )
     return parser
 

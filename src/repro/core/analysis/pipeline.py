@@ -136,10 +136,53 @@ class CrossDomainAnalyzer:
     ) -> Tuple[List[float], List[Trace], int]:
         """Build the runtime stream: baseline traces, then activation.
 
-        The whole stream (pre- and post-activation) is rendered as one
-        engine batch on the monitor sensor and featurized in a single
-        vectorized pass.  Returns ``(features, active_traces,
-        trigger_index)``.
+        Delegates to the streaming subsystem: the scripted
+        :class:`~repro.runtime.sources.ActivationSchedule` renders
+        through a :class:`~repro.runtime.sources.LiveSource` and the
+        shared chunk featurizer — the exact machinery behind
+        ``repro monitor`` — which the engine's determinism contract
+        keeps bit-identical to the legacy one-shot render
+        (:meth:`_monitor_batch`, retained as the reference path and
+        pinned by ``tests/test_runtime_stream.py``).  Returns
+        ``(features, active_traces, trigger_index)``.
+        """
+        # Function-level import: repro.runtime sits above the analysis
+        # package (it composes detector/identifier/localizer), so the
+        # delegation must not run at module-import time.
+        from ...runtime.pipeline import chunk_features
+        from ...runtime.sources import ActivationSchedule, LiveSource
+
+        schedule = ActivationSchedule.step(
+            scenario_name,
+            n_baseline=n_baseline,
+            n_active=n_active,
+            active_offset=500,
+        )
+        source = LiveSource(
+            self.campaign,
+            schedule,
+            sensors=[self.monitor_sensor],
+            chunk=max(1, n_baseline + n_active),
+        )
+        features: List[float] = []
+        active_traces: List[Trace] = []
+        for chunk in source.chunks():
+            block = chunk_features(
+                chunk, self.analyzer, self.chip.config, adc=None
+            )
+            features.extend(float(value) for value in block[0])
+            for offset in range(chunk.n_windows):
+                if chunk.start + offset >= n_baseline:
+                    active_traces.append(chunk.trace(0, offset))
+        return features, active_traces, n_baseline
+
+    def monitor_stream_legacy(
+        self, scenario_name: str, n_baseline: int, n_active: int
+    ) -> Tuple[List[float], List[Trace], int]:
+        """The pre-runtime one-shot render (reference path).
+
+        Kept as the equivalence anchor for :meth:`monitor_stream`:
+        both produce bit-identical features and traces.
         """
         reference = reference_for(scenario_name)
         scenario = scenario_by_name(scenario_name)

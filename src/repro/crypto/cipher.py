@@ -56,26 +56,22 @@ def _inv_shift_rows(state: np.ndarray) -> np.ndarray:
     return state[_INV_SHIFT_ROWS]
 
 
-def _mix_single_column(column: np.ndarray, factors: List[int]) -> np.ndarray:
-    out = np.zeros(4, dtype=np.uint8)
-    for row in range(4):
-        acc = 0
-        for k in range(4):
-            acc ^= int(_MUL[factors[(k - row) % 4]][column[k]])
-        out[row] = acc
-    return out
-
-
 def _mix_columns(state: np.ndarray, inverse: bool = False) -> np.ndarray:
     factors = [14, 11, 13, 9] if inverse else [2, 3, 1, 1]
     # factors listed so that factors[(k - row) % 4] gives the standard
     # circulant matrix row [2 3 1 1] (or [14 11 13 9] for the inverse).
-    out = np.zeros_like(state)
-    for col in range(4):
-        out[4 * col : 4 * col + 4] = _mix_single_column(
-            state[4 * col : 4 * col + 4], factors
-        )
-    return out
+    # All four columns mix at once: the flat column-major state reshapes
+    # to (column, row), and each output row is an XOR of four table
+    # lookups across the whole column axis — exact GF(2^8) arithmetic,
+    # identical bytes to the per-column reference loop.
+    columns = state.reshape(4, 4)
+    out = np.empty_like(columns)
+    for row in range(4):
+        acc = _MUL[factors[(0 - row) % 4]][columns[:, 0]].copy()
+        for k in range(1, 4):
+            acc ^= _MUL[factors[(k - row) % 4]][columns[:, k]]
+        out[:, row] = acc
+    return out.reshape(16)
 
 
 @dataclass(frozen=True)
@@ -136,12 +132,20 @@ class EncryptionHistory:
 
 
 def encrypt_block_with_history(
-    plaintext: bytes | np.ndarray, key: bytes
+    plaintext: bytes | np.ndarray,
+    key: bytes,
+    round_keys: List[np.ndarray] | None = None,
 ) -> EncryptionHistory:
-    """Encrypt one block, recording every intermediate state."""
+    """Encrypt one block, recording every intermediate state.
+
+    ``round_keys`` lets callers with a fixed key (the LUT core
+    encrypting a whole trace window) expand the schedule once instead
+    of once per block; when given it must equal ``expand_key(key)``.
+    """
     state = _as_state(plaintext)
     plaintext_arr = state.copy()
-    round_keys = expand_key(key)
+    if round_keys is None:
+        round_keys = expand_key(key)
     state = state ^ round_keys[0]
     initial_state = state.copy()
     rounds: List[RoundTrace] = []

@@ -21,6 +21,8 @@ from ..config import SimConfig
 from ..errors import WorkloadError
 from ..netlist.builder import MAIN_MODULE_TOTALS
 from .cipher import EncryptionHistory, encrypt_block_with_history
+from .key_schedule import expand_key
+from .sbox import bit_hamming
 
 #: Cycles per AES block in the LUT core (load + 10 rounds).
 BLOCK_CYCLES = 11
@@ -52,11 +54,8 @@ _BASELINE_FRACTIONS: Dict[str, float] = {
 _IDLE_CLOCK_FRACTION = 0.004
 
 
-def _hamming(a: np.ndarray, b: np.ndarray) -> int:
-    """Bit-level Hamming distance between two byte arrays."""
-    return int(
-        np.unpackbits(np.bitwise_xor(a, b)).sum()
-    )
+#: Hamming distance on the per-cycle hot path (popcount lookup).
+_hamming = bit_hamming
 
 
 @dataclass(frozen=True)
@@ -121,6 +120,8 @@ class AesLutCore:
             )
         self.key = bytes(key)
         self.config = config
+        # Fixed key => one schedule for every encrypted block.
+        self._round_keys = expand_key(self.key)
 
     # -- public API ----------------------------------------------------------
 
@@ -168,7 +169,9 @@ class AesLutCore:
         previous_final: np.ndarray | None = None
         for block in range(n_blocks):
             plaintext = bytes(plaintexts[block % len(plaintexts)])
-            history = encrypt_block_with_history(plaintext, self.key)
+            history = encrypt_block_with_history(
+                plaintext, self.key, round_keys=self._round_keys
+            )
             histories.append(history)
             self._accumulate_block(
                 toggles, history, block, previous_final, n_cycles

@@ -15,7 +15,7 @@ and reports a timeline suitable for MTTD evaluation.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Protocol, Sequence
+from typing import Callable, List, Protocol, Sequence, Tuple
 
 from ..errors import MeasurementError
 from ..traces import Trace
@@ -52,12 +52,45 @@ class RascReport:
         Feature per processed trace.
     trace_period_s:
         Capture + processing period per trace [s].
+    window_indices:
+        Stream index of every processed window, in order.
+    window_times_s:
+        Wall-clock verdict time of every processed window [s].
+    alarms:
+        Every alarming window index (a session monitored past its
+        first alarm can fire more than once).
     """
 
     alarm_index: int | None
     alarm_time_s: float | None
     features_db: List[float]
     trace_period_s: float
+    window_indices: Tuple[int, ...] = ()
+    window_times_s: Tuple[float, ...] = ()
+    alarms: Tuple[int, ...] = ()
+
+    def traces_to_detect(self, trigger_index: int) -> int | None:
+        """Windows from a scripted activation to the first alarm.
+
+        The per-window bookkeeping replaces hand-rolled trigger
+        arithmetic in callers: given the window the Trojan was enabled
+        at, this is the (inclusive) count of monitored windows until
+        the alarm — None when the session stayed silent or alarmed
+        *before* the activation (a false alarm, not a detection).
+        """
+        if self.alarm_index is None or self.alarm_index < trigger_index:
+            return None
+        return self.alarm_index - trigger_index + 1
+
+    def state_at(self, window: int, warmup: int, trigger_index: int) -> str:
+        """Human-readable monitor state of one window of the timeline."""
+        if window < warmup:
+            return "warm-up"
+        if self.alarm_index is not None and window in self.alarms:
+            return "ALARM"
+        if window < trigger_index:
+            return "armed, quiet"
+        return "TROJAN ACTIVE"
 
 
 class RascMonitor:
@@ -119,23 +152,39 @@ class RascMonitor:
         decision = self.detector.update(feature)
         return feature, bool(getattr(decision, "alarm", False))
 
-    def monitor(self, traces: Sequence[Trace]) -> RascReport:
-        """Stream a trace sequence until the first alarm (or the end)."""
+    def monitor(
+        self, traces: Sequence[Trace], stop_on_alarm: bool = True
+    ) -> RascReport:
+        """Stream a trace sequence until the first alarm (or the end).
+
+        Timeline bookkeeping (window indices, verdict timestamps,
+        alarm accounting) delegates to the run-time subsystem's
+        :class:`~repro.runtime.timeline.WindowTimeline` — the same
+        fold the streaming :class:`~repro.runtime.EscalationPipeline`
+        uses — so the per-trace and batched monitoring paths share one
+        notion of session time.  With ``stop_on_alarm`` (the legacy
+        behavior) the session ends at the first alarm; without it the
+        monitor keeps watching and records every alarm.
+        """
+        from ..runtime.timeline import WindowTimeline  # instruments sit below
+
         if not traces:
             raise MeasurementError("no traces to monitor")
         period = traces[0].duration + self.processing_latency_s
-        features: List[float] = []
-        alarm_index = None
-        for index, trace in enumerate(traces):
+        timeline = WindowTimeline(period, n_streams=1)
+        for trace in traces:
             feature, alarm = self.process(trace)
-            features.append(feature)
-            if alarm:
-                alarm_index = index
+            timeline.push([feature], alarm)
+            if alarm and stop_on_alarm:
                 break
-        alarm_time = None if alarm_index is None else (alarm_index + 1) * period
+        alarm_index = timeline.first_alarm
+        alarm_time = None if alarm_index is None else timeline.time_of(alarm_index)
         return RascReport(
             alarm_index=alarm_index,
             alarm_time_s=alarm_time,
-            features_db=features,
+            features_db=timeline.stream_features(0),
             trace_period_s=period,
+            window_indices=timeline.window_indices,
+            window_times_s=timeline.window_times_s,
+            alarms=timeline.alarms,
         )

@@ -1,0 +1,461 @@
+"""Multi-chip fleet monitoring: N independent monitors, one scheduler.
+
+A deployment watches many chips at once.  Each fleet member is a
+complete monitor — its own :class:`~repro.chip.testchip.TestChip`
+(distinct RNG seed, optionally a distinct Trojan implant position),
+PSA, :class:`~repro.runtime.sources.LiveSource` and
+:class:`~repro.runtime.pipeline.EscalationPipeline` — and the
+:class:`FleetScheduler` interleaves them cooperatively:
+
+* every scheduler tick advances each live monitor by at most one
+  *render* (producer side) and one *process* (consumer side);
+* rendered-but-unprocessed chunks wait in a **bounded** per-monitor
+  queue (``queue_depth``); a full queue stalls that monitor's
+  producer only — backpressure never blocks the other chips;
+* rendering runs through each chip's configured engine execution
+  backend (serial or the process worker pool), so fleet throughput
+  scales with the engine, not the scheduler.
+
+Interleaving is deterministic (round-robin in member order) and —
+because monitors share no mutable state — every member's report is
+bit-identical to running that monitor alone, which
+``tests/test_runtime_fleet.py`` pins.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..chip.floorplan import DEFAULT_TROJAN_SENSOR, floorplan_with_trojans_at
+from ..chip.testchip import TestChip
+from ..config import SimConfig
+from ..core.analysis.detector import DetectorConfig
+from ..core.analysis.localizer import Localizer
+from ..core.array import ProgrammableSensorArray
+from ..errors import AnalysisError
+from ..instruments.spectrum_analyzer import SpectrumAnalyzer
+from ..workloads.campaign import MeasurementCampaign
+from .events import EventBus
+from .pipeline import EscalationPipeline, MonitorReport, PipelineConfig
+from .sources import (
+    DEFAULT_CHUNK_WINDOWS,
+    ActivationSchedule,
+    LiveSource,
+    StreamChunk,
+)
+
+#: The AES key programmed into every fleet chip.
+FLEET_KEY = bytes(range(16))
+
+
+@dataclass(frozen=True)
+class ChipSpec:
+    """Recipe for one fleet member.
+
+    Attributes
+    ----------
+    chip_id:
+        Member identity (event ``chip`` tag, report row).
+    trojan:
+        The Trojan implanted on this chip (``"T1"``..``"T4"``).
+    seed:
+        Config seed of this chip's simulation (distinct seeds give
+        every member independent noise and workloads).
+    host_sensor:
+        Sensor the Trojan cluster is implanted under.
+    n_baseline, n_active:
+        Span lengths of the scripted monitoring stream.
+    active_offset:
+        Workload epoch of the Trojan-active span.
+    sensors:
+        Monitored sensor subset (one detector stream each); None
+        monitors the whole array — the paper's always-on deployment.
+    chunk:
+        Windows per rendered chunk.
+    detector:
+        Detector tuning of this member's pipeline.
+    """
+
+    chip_id: str
+    trojan: str
+    seed: int
+    host_sensor: int = DEFAULT_TROJAN_SENSOR
+    n_baseline: int = 8
+    n_active: int = 6
+    active_offset: int = 500
+    sensors: Optional[Tuple[int, ...]] = None
+    chunk: int = DEFAULT_CHUNK_WINDOWS
+    detector: DetectorConfig = field(
+        default_factory=lambda: DetectorConfig(warmup=6)
+    )
+
+
+@dataclass
+class ChipMonitor:
+    """One assembled fleet member (chip + source + pipeline)."""
+
+    spec: ChipSpec
+    pipeline: EscalationPipeline
+    source: LiveSource
+    truth_position: Tuple[float, float]
+    report: Optional[MonitorReport] = None
+
+    @property
+    def chip_id(self) -> str:
+        """Member identity."""
+        return self.spec.chip_id
+
+
+def build_chip_monitor(
+    spec: ChipSpec,
+    config: Optional[SimConfig] = None,
+    analyzer: Optional[SpectrumAnalyzer] = None,
+    pipeline_config: Optional[PipelineConfig] = None,
+    bus: Optional[EventBus] = None,
+) -> ChipMonitor:
+    """Assemble one fleet member from its spec.
+
+    Chips share coupling geometry through the content-keyed cache in
+    :mod:`repro.em.coupling`, so members at the same implant position
+    pay the flux integrals only once per process.
+
+    Parameters
+    ----------
+    spec:
+        The member recipe.
+    config:
+        Base simulation config; the member runs on
+        ``config.with_(seed=spec.seed)`` (backend selection and grid
+        settings are inherited).
+    analyzer:
+        Shared spectrum analyzer model.
+    pipeline_config:
+        Stage tuning (the spec's detector is folded in).
+    bus:
+        Event bus shared by the fleet (each member stamps its own
+        ``chip`` id); None gives each member a private bus.
+    """
+    base = config or SimConfig()
+    member_config = base.with_(seed=spec.seed)
+    floorplan = floorplan_with_trojans_at(spec.host_sensor)
+    chip = TestChip(FLEET_KEY, member_config, floorplan=floorplan)
+    psa = ProgrammableSensorArray(chip)
+    campaign = MeasurementCampaign(chip, psa)
+    analyzer = analyzer or SpectrumAnalyzer()
+    schedule = ActivationSchedule.step(
+        spec.trojan,
+        n_baseline=spec.n_baseline,
+        n_active=spec.n_active,
+        active_offset=spec.active_offset,
+    )
+    sensors = (
+        tuple(range(psa.n_sensors)) if spec.sensors is None else spec.sensors
+    )
+    source = LiveSource(campaign, schedule, sensors=sensors, chunk=spec.chunk)
+    tuning = replace(
+        pipeline_config or PipelineConfig(), detector=spec.detector
+    )
+    pipeline = EscalationPipeline(
+        member_config,
+        n_streams=len(sensors),
+        pipeline=tuning,
+        analyzer=analyzer,
+        localizer=Localizer(psa, analyzer),
+        bus=bus,
+        chip=spec.chip_id,
+    )
+    truth = chip.floorplan.placements[spec.trojan][0].center
+    return ChipMonitor(
+        spec=spec,
+        pipeline=pipeline,
+        source=source,
+        truth_position=(float(truth[0]), float(truth[1])),
+    )
+
+
+@dataclass(frozen=True)
+class ChipResult:
+    """One fleet member's session outcome.
+
+    Attributes
+    ----------
+    chip_id, trojan, host_sensor:
+        Member identity and ground truth.
+    report:
+        The member's full monitoring report.
+    localization_error_um:
+        Distance between the localization estimate and the true
+        implant position [um] (None when localization never ran).
+    """
+
+    chip_id: str
+    trojan: str
+    host_sensor: int
+    report: MonitorReport
+    localization_error_um: Optional[float]
+
+    @property
+    def detected(self) -> bool:
+        """The member alarmed at/after its scripted activation."""
+        return self.report.detected
+
+    @property
+    def mttd_s(self) -> Optional[float]:
+        """Activation-to-alarm latency [s]."""
+        return self.report.mttd.mttd_s if self.report.mttd else None
+
+
+@dataclass(frozen=True)
+class FleetReport:
+    """Aggregated outcome of one fleet run.
+
+    Attributes
+    ----------
+    chips:
+        Per-member results, in member order.
+    queue_depth:
+        Configured backpressure bound (chunks per member queue).
+    max_queue_len:
+        Deepest any member queue actually got.
+    wall_seconds:
+        Scheduler wall-clock time for the whole fleet.
+    interleave:
+        Chip ids in chunk-processing order (the concurrency trace).
+    """
+
+    chips: Tuple[ChipResult, ...]
+    queue_depth: int
+    max_queue_len: int
+    wall_seconds: float
+    interleave: Tuple[str, ...]
+
+    @property
+    def n_chips(self) -> int:
+        """Fleet size."""
+        return len(self.chips)
+
+    @property
+    def total_windows(self) -> int:
+        """Windows processed across the fleet."""
+        return sum(chip.report.n_windows for chip in self.chips)
+
+    @property
+    def windows_per_sec(self) -> float:
+        """Fleet-wide monitoring throughput."""
+        if self.wall_seconds <= 0:
+            return float("inf")
+        return self.total_windows / self.wall_seconds
+
+    @property
+    def all_detected(self) -> bool:
+        """Every member alarmed after its activation."""
+        return all(chip.detected for chip in self.chips)
+
+    @property
+    def mean_mttd_s(self) -> Optional[float]:
+        """Mean detection latency over the detecting members [s]."""
+        latencies = [c.mttd_s for c in self.chips if c.mttd_s is not None]
+        return float(np.mean(latencies)) if latencies else None
+
+    @property
+    def mean_traces_to_detect(self) -> Optional[float]:
+        """Mean post-activation windows to the alarm."""
+        counts = [
+            c.report.mttd.traces_to_detect
+            for c in self.chips
+            if c.report.mttd and c.report.mttd.traces_to_detect is not None
+        ]
+        return float(np.mean(counts)) if counts else None
+
+    @property
+    def mean_localization_error_um(self) -> Optional[float]:
+        """Mean localization error over the localized members [um]."""
+        errors = [
+            c.localization_error_um
+            for c in self.chips
+            if c.localization_error_um is not None
+        ]
+        return float(np.mean(errors)) if errors else None
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable summary (per-chip rows + aggregates)."""
+        return {
+            "n_chips": self.n_chips,
+            "queue_depth": self.queue_depth,
+            "max_queue_len": self.max_queue_len,
+            "wall_seconds": round(self.wall_seconds, 3),
+            "total_windows": self.total_windows,
+            "windows_per_sec": round(self.windows_per_sec, 2),
+            "all_detected": self.all_detected,
+            "mean_mttd_ms": None
+            if self.mean_mttd_s is None
+            else round(1e3 * self.mean_mttd_s, 3),
+            "mean_traces_to_detect": self.mean_traces_to_detect,
+            "mean_localization_error_um": None
+            if self.mean_localization_error_um is None
+            else round(self.mean_localization_error_um, 1),
+            "chips": [
+                {
+                    "chip": chip.chip_id,
+                    "trojan": chip.trojan,
+                    "host_sensor": chip.host_sensor,
+                    "windows": chip.report.n_windows,
+                    "first_alarm": chip.report.first_alarm,
+                    "detected": chip.detected,
+                    "mttd_ms": None
+                    if chip.mttd_s is None
+                    else round(1e3 * chip.mttd_s, 3),
+                    "identified": None
+                    if chip.report.identification is None
+                    else chip.report.identification.label,
+                    "localization_error_um": None
+                    if chip.localization_error_um is None
+                    else round(chip.localization_error_um, 1),
+                }
+                for chip in self.chips
+            ],
+        }
+
+    def format(self) -> str:
+        """Human-readable fleet summary table."""
+        header = (
+            f"fleet: {self.n_chips} chips | {self.total_windows} windows in "
+            f"{self.wall_seconds:.2f} s ({self.windows_per_sec:.1f} win/s) | "
+            f"queue depth {self.queue_depth} (max seen {self.max_queue_len})"
+        )
+        lines = [
+            header,
+            "chip     | trojan | alarm@ | MTTD [ms] | identified | loc err [um]",
+            "---------|--------|--------|-----------|------------|-------------",
+        ]
+        for chip in self.chips:
+            mttd = "-" if chip.mttd_s is None else f"{1e3 * chip.mttd_s:.2f}"
+            ident = (
+                "-"
+                if chip.report.identification is None
+                else chip.report.identification.label
+            )
+            error = (
+                "-"
+                if chip.localization_error_um is None
+                else f"{chip.localization_error_um:.0f}"
+            )
+            alarm = (
+                "-"
+                if chip.report.first_alarm is None
+                else str(chip.report.first_alarm)
+            )
+            lines.append(
+                f"{chip.chip_id:<8} | {chip.trojan:<6} | {alarm:>6} | "
+                f"{mttd:>9} | {ident:>10} | {error:>12}"
+            )
+        return "\n".join(lines)
+
+
+class FleetScheduler:
+    """Cooperative round-robin scheduler over independent monitors.
+
+    Parameters
+    ----------
+    monitors:
+        Assembled fleet members.
+    queue_depth:
+        Backpressure bound: rendered-but-unprocessed chunks allowed
+        per member.  A member whose pipeline falls behind stalls its
+        own renderer once the queue is full; other members keep
+        flowing.
+    """
+
+    def __init__(self, monitors: Sequence[ChipMonitor], queue_depth: int = 2):
+        if not monitors:
+            raise AnalysisError("fleet needs at least one monitor")
+        if queue_depth < 1:
+            raise AnalysisError("queue_depth must be >= 1")
+        ids = [monitor.chip_id for monitor in monitors]
+        if len(set(ids)) != len(ids):
+            duplicate = next(i for i in ids if ids.count(i) > 1)
+            raise AnalysisError(f"duplicate chip id {duplicate!r} in fleet")
+        self.monitors = list(monitors)
+        self.queue_depth = queue_depth
+        self.max_queue_len = 0
+
+    def run(self) -> FleetReport:
+        """Drive every member to completion; returns the fleet report.
+
+        Each tick visits members in order and advances each by at most
+        one rendered chunk and one processed chunk, so all members
+        make progress together — a genuinely concurrent monitoring
+        service, deterministically scheduled.
+        """
+        for monitor in self.monitors:
+            monitor.pipeline.bind(monitor.source)
+        producers: List[Optional[Iterator[StreamChunk]]] = [
+            iter(monitor.source.chunks()) for monitor in self.monitors
+        ]
+        queues: List[deque] = [deque() for _ in self.monitors]
+        interleave: List[str] = []
+        start = time.perf_counter()
+        pending = set(range(len(self.monitors)))
+        while pending:
+            for index in sorted(pending):
+                monitor = self.monitors[index]
+                queue = queues[index]
+                # Producer side: prefetch renders until the bounded
+                # queue is full (the backpressure contract) or the
+                # schedule is exhausted.
+                while (
+                    producers[index] is not None
+                    and len(queue) < self.queue_depth
+                ):
+                    try:
+                        queue.append(next(producers[index]))
+                        self.max_queue_len = max(
+                            self.max_queue_len, len(queue)
+                        )
+                    except StopIteration:
+                        producers[index] = None
+                # Consumer side: process exactly one chunk per tick.
+                if queue:
+                    chunk = queue.popleft()
+                    monitor.pipeline.process_chunk(chunk)
+                    interleave.append(monitor.chip_id)
+                elif producers[index] is None:
+                    monitor.report = monitor.pipeline.report(
+                        trigger_index=monitor.source.trigger_index
+                    )
+                    pending.discard(index)
+        wall = time.perf_counter() - start
+        results = []
+        for monitor in self.monitors:
+            report = monitor.report
+            error = None
+            if report.localization is not None:
+                error = 1e6 * float(
+                    np.hypot(
+                        report.localization.position[0]
+                        - monitor.truth_position[0],
+                        report.localization.position[1]
+                        - monitor.truth_position[1],
+                    )
+                )
+            results.append(
+                ChipResult(
+                    chip_id=monitor.chip_id,
+                    trojan=monitor.spec.trojan,
+                    host_sensor=monitor.spec.host_sensor,
+                    report=report,
+                    localization_error_um=error,
+                )
+            )
+        return FleetReport(
+            chips=tuple(results),
+            queue_depth=self.queue_depth,
+            max_queue_len=self.max_queue_len,
+            wall_seconds=wall,
+            interleave=tuple(interleave),
+        )

@@ -1,0 +1,473 @@
+"""The detect→identify→localize escalation pipeline.
+
+The paper's run-time flow as an explicit state machine over a
+:class:`~repro.runtime.sources.TraceStream`:
+
+* **MONITOR** — every window of every monitored stream is featurized
+  in one vectorized pass (optional RASC ADC front-end, batched display
+  spectra, sideband feature) and folded through a rolling-Welford
+  :class:`~repro.core.analysis.welford.DetectorBank` — the
+  golden-model-free self-baseline with debounced alarms.
+* **IDENTIFY** — on the first debounced alarm the pipeline switches to
+  the time domain: the alarming window's zero-span envelope goes
+  through the :class:`~repro.core.analysis.identifier.TrojanIdentifier`
+  rule template.
+* **LOCALIZE** — if the stream can take new measurements (live
+  sources), the batched :class:`~repro.core.analysis.localizer.Localizer`
+  runs the score map + quadrant refinement and the machine returns to
+  MONITOR for the rest of the stream.
+
+Every stage emits typed :mod:`~repro.runtime.events` onto the bus, so
+a session is fully auditable from its JSONL log alone.
+
+Determinism: escalation never touches detector state, and every
+per-window feature is an elementwise function of that window's
+samples, so the full decision timeline is bit-identical at any chunk
+size — the property ``tests/test_runtime_stream.py`` pins against the
+one-shot offline render.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..config import SimConfig
+from ..core.analysis.detector import DetectorConfig
+from ..core.analysis.identifier import IdentificationResult, TrojanIdentifier
+from ..core.analysis.localizer import LocalizationResult, Localizer
+from ..core.analysis.mttd import MttdModel, MttdResult, mttd_from_alarm
+from ..core.analysis.spectral import sideband_features_db, sideband_frequencies
+from ..core.analysis.welford import DetectorBank
+from ..errors import AnalysisError
+from ..instruments.adc import AdcSpec, quantize_batch
+from ..instruments.rasc import AUTO_RANGE_HEADROOM, RASC_ADC
+from ..instruments.spectrum_analyzer import SpectrumAnalyzer
+from .events import (
+    Alarm,
+    EventBus,
+    MonitorState,
+    StateChanged,
+    TrojanIdentified,
+    TrojanLocalized,
+    WindowProcessed,
+)
+from .sources import StreamChunk, TraceStream
+from .timeline import WindowTimeline
+
+
+def chunk_features(
+    chunk: StreamChunk,
+    analyzer: SpectrumAnalyzer,
+    config: SimConfig,
+    adc: Optional[AdcSpec] = None,
+) -> np.ndarray:
+    """Featurize one chunk; ``(n_streams, k)`` sideband features [dB].
+
+    Optional auto-ranged ADC quantization (the RASC front-end), then
+    one batched display-spectrum + sideband-feature pass.  Every
+    element is a function of that window's samples alone, so the
+    result is independent of how the stream was chunked.
+    """
+    samples = chunk.samples
+    if adc is not None:
+        samples = quantize_batch(samples, adc, headroom=AUTO_RANGE_HEADROOM)
+    n_streams, k, n_samples = samples.shape
+    grid, display = analyzer.display_matrix(
+        samples.reshape(-1, n_samples), chunk.fs
+    )
+    return sideband_features_db(grid, display, config).reshape(n_streams, k)
+
+
+@dataclass(frozen=True)
+class PipelineConfig:
+    """Tuning of one escalation pipeline.
+
+    Attributes
+    ----------
+    detector:
+        Golden-model-free detector tuning (warm-up, z-threshold,
+        debounce) shared by every monitored stream.
+    quantize:
+        Pass windows through the RASC monitor's auto-ranged ADC before
+        feature extraction (the deployed-monitor condition).
+    adc:
+        The converter used when ``quantize`` is on.
+    identify:
+        Run the IDENTIFY stage on the first debounced alarm.
+    localize:
+        Run the LOCALIZE stage after identification (requires a
+        localizer and a stream that can re-measure).
+    localize_records:
+        Activity records per population for the LOCALIZE stage.
+    escalate_once:
+        Only the first alarm escalates; later alarms are logged as
+        events but keep the machine in MONITOR.  (The deployed flow:
+        once a Trojan is identified and localized, the verdict stands
+        and monitoring continues.)
+    mttd:
+        Per-window timing model for latency accounting.
+    """
+
+    detector: DetectorConfig = field(
+        default_factory=lambda: DetectorConfig(warmup=6)
+    )
+    quantize: bool = True
+    adc: AdcSpec = RASC_ADC
+    identify: bool = True
+    localize: bool = True
+    localize_records: int = 2
+    escalate_once: bool = True
+    mttd: MttdModel = field(default_factory=MttdModel)
+
+    def __post_init__(self) -> None:
+        if self.localize_records < 1:
+            raise AnalysisError("localize_records must be >= 1")
+
+
+@dataclass(frozen=True)
+class MonitorReport:
+    """Everything one monitoring session concluded.
+
+    Attributes
+    ----------
+    chip:
+        Identity of the monitored chip.
+    sensors:
+        Sensor index per monitored stream.
+    n_windows:
+        Windows processed.
+    trace_period_s:
+        Capture + processing cadence [s].
+    features_db:
+        Feature timeline, shape ``(n_streams, n_windows)``.
+    window_times_s:
+        Verdict timestamp per window [s].
+    alarms:
+        Every alarming window index.
+    first_alarm:
+        First alarming window (None = silent).
+    trigger_index:
+        Scripted/recovered activation window (None = unknown).
+    mttd:
+        Activation-to-alarm latency (None when the trigger is unknown).
+    identification:
+        IDENTIFY stage outcome (None if never escalated).
+    localization:
+        LOCALIZE stage outcome (None if unavailable or not escalated).
+    escalations:
+        Completed escalation sequences.
+    final_state:
+        State machine position when the stream ended.
+    event_counts:
+        Events this session emitted per type (the session's own
+        counters even on a fleet-shared bus).
+    """
+
+    chip: str
+    sensors: Tuple[int, ...]
+    n_windows: int
+    trace_period_s: float
+    features_db: np.ndarray
+    window_times_s: Tuple[float, ...]
+    alarms: Tuple[int, ...]
+    first_alarm: Optional[int]
+    trigger_index: Optional[int]
+    mttd: Optional[MttdResult]
+    identification: Optional[IdentificationResult]
+    localization: Optional[LocalizationResult]
+    escalations: int
+    final_state: str
+    event_counts: dict
+
+    @property
+    def detected(self) -> bool:
+        """An alarm fired at/after the scripted activation."""
+        return bool(self.mttd and self.mttd.detected)
+
+    def state_at(self, window: int, warmup: int) -> str:
+        """Human-readable monitor state of one window of the timeline.
+
+        The same labeling ladder as
+        :meth:`repro.instruments.rasc.RascReport.state_at`, with the
+        report's own trigger index — display drivers (the example, ad
+        hoc dashboards) should use this instead of re-deriving the
+        warm-up/trigger/alarm precedence.
+        """
+        if window < warmup:
+            return "warm-up"
+        if window in self.alarms:
+            return "ALARM"
+        trigger = self.trigger_index
+        if trigger is None or window < trigger:
+            return "armed, quiet"
+        return "TROJAN ACTIVE"
+
+
+class EscalationPipeline:
+    """One chip's streaming monitor: the run-time state machine.
+
+    Parameters
+    ----------
+    config:
+        Simulation config of the monitored chip (feature bookkeeping
+        and timing).
+    n_streams:
+        Monitored feature streams (must match the stream source).
+    pipeline:
+        Stage tuning.
+    analyzer:
+        Spectrum analyzer model shared by every stage.
+    identifier:
+        Zero-span classifier for the IDENTIFY stage (built from the
+        analyzer and the config's first sideband by default).
+    localizer:
+        Batched localizer for the LOCALIZE stage; None disables it
+        (e.g. replay-only deployments without array access).
+    bus:
+        Event bus; a fresh private bus by default.
+    chip:
+        Chip identity stamped onto every event.
+    """
+
+    def __init__(
+        self,
+        config: SimConfig,
+        n_streams: int = 1,
+        pipeline: Optional[PipelineConfig] = None,
+        analyzer: Optional[SpectrumAnalyzer] = None,
+        identifier: Optional[TrojanIdentifier] = None,
+        localizer: Optional[Localizer] = None,
+        bus: Optional[EventBus] = None,
+        chip: str = "chip0",
+    ):
+        if n_streams < 1:
+            raise AnalysisError("need at least one monitored stream")
+        self.config = config
+        self.n_streams = n_streams
+        self.pipeline = pipeline or PipelineConfig()
+        self.analyzer = analyzer or SpectrumAnalyzer()
+        self.identifier = identifier or TrojanIdentifier(
+            self.analyzer, f_probe=sideband_frequencies(config)[0]
+        )
+        self.localizer = localizer
+        self.bus = bus or EventBus()
+        self.chip = chip
+        self.state = MonitorState.MONITOR
+        self._bank = DetectorBank(n_streams, self.pipeline.detector)
+        self._timeline = WindowTimeline(
+            self.pipeline.mttd.trace_period(config), n_streams
+        )
+        self._sensors: Tuple[int, ...] = tuple(range(n_streams))
+        self._identification: Optional[IdentificationResult] = None
+        self._localization: Optional[LocalizationResult] = None
+        self._escalations = 0
+        self._source: Optional[TraceStream] = None
+        self._event_counts: dict = {}
+
+    def _emit(self, event) -> None:
+        """Emit onto the bus, counting this pipeline's own events.
+
+        The bus may be shared fleet-wide, so the per-session counters
+        in :attr:`MonitorReport.event_counts` are kept here, not on
+        the bus.
+        """
+        name = type(event).__name__
+        self._event_counts[name] = self._event_counts.get(name, 0) + 1
+        self.bus.emit(event)
+
+    # -- state machine --------------------------------------------------------
+
+    def _transition(self, new_state: MonitorState, window: int) -> None:
+        previous = self.state
+        self.state = new_state
+        self._emit(
+            StateChanged(
+                chip=self.chip,
+                window=window,
+                time_s=self._timeline.time_of(window),
+                previous=previous.value,
+                current=new_state.value,
+            )
+        )
+
+    def _escalate(self, chunk: StreamChunk, offset: int, window: int) -> None:
+        """Run IDENTIFY (and LOCALIZE) for the alarming window."""
+        time_s = self._timeline.time_of(window)
+        if self.pipeline.identify:
+            self._transition(MonitorState.IDENTIFY, window)
+            # Identify from the alarming stream's raw window (the
+            # zero-span stage runs on the analyzer, not the ADC path).
+            stream = int(self._alarm_stream)
+            result = self.identifier.classify(chunk.trace(stream, offset))
+            self._identification = result
+            self._emit(
+                TrojanIdentified(
+                    chip=self.chip,
+                    window=window,
+                    time_s=time_s,
+                    label=result.label,
+                    f_probe_hz=result.f_probe,
+                    autocorr_peak=result.features.autocorr_peak,
+                    dominant_freq_hz=result.features.dominant_freq,
+                )
+            )
+        records = None
+        if (
+            self.pipeline.localize
+            and self.localizer is not None
+            and self._source is not None
+        ):
+            records = self._source.localization_records(
+                self.pipeline.localize_records
+            )
+        if records is not None:
+            self._transition(MonitorState.LOCALIZE, window)
+            base_records, active_records = records
+            result = self.localizer.localize(
+                base_records, active_records, refine=True
+            )
+            self._localization = result
+            self._emit(
+                TrojanLocalized(
+                    chip=self.chip,
+                    window=window,
+                    time_s=time_s,
+                    sensor=result.sensor_index,
+                    quadrant=result.quadrant,
+                    position_m=tuple(result.position),
+                    margin_db=result.margin_db,
+                )
+            )
+        self._escalations += 1
+        self._transition(MonitorState.MONITOR, window)
+
+    # -- window processing ----------------------------------------------------
+
+    def process_chunk(self, chunk: StreamChunk) -> None:
+        """Fold one chunk of windows through the state machine.
+
+        Features for the whole chunk are extracted in one vectorized
+        pass; decisions are inherently sequential (each conditions the
+        next self-baseline), so the fold walks the windows in order,
+        escalating in-line when an alarm fires.
+        """
+        if chunk.n_streams != self.n_streams:
+            raise AnalysisError(
+                f"chunk has {chunk.n_streams} streams, pipeline monitors "
+                f"{self.n_streams}"
+            )
+        features = chunk_features(
+            chunk,
+            self.analyzer,
+            self.config,
+            adc=self.pipeline.adc if self.pipeline.quantize else None,
+        )
+        for offset in range(chunk.n_windows):
+            window = chunk.start + offset
+            step = self._bank.step(features[:, offset])
+            fired = bool(step.alarm.any())
+            recorded = self._timeline.push(features[:, offset], fired)
+            if recorded != window:
+                raise AnalysisError(
+                    f"stream discontinuity: expected window {recorded}, "
+                    f"chunk says {window}"
+                )
+            time_s = self._timeline.time_of(window)
+            self._emit(
+                WindowProcessed(
+                    chip=self.chip,
+                    window=window,
+                    time_s=time_s,
+                    scenario=chunk.scenarios[offset],
+                    features_db=tuple(float(f) for f in features[:, offset]),
+                    z=tuple(
+                        float(z) if np.isfinite(z) else None for z in step.z
+                    ),
+                    alarm=fired,
+                )
+            )
+            if not fired:
+                continue
+            # The alarming stream with the strongest evidence leads
+            # the escalation (a fleet-of-sensors monitor can trip on
+            # several streams in the same window).
+            scored = np.where(step.alarm, np.abs(step.z), -np.inf)
+            stream = int(np.argmax(scored))
+            self._alarm_stream = stream
+            # An alarm escalates only when some stage can actually run
+            # (a MONITOR-only tuning must not burn the session's one
+            # escalation on a no-op or log phantom transitions).
+            escalating = (
+                self._escalations == 0 or not self.pipeline.escalate_once
+            ) and (
+                self.pipeline.identify
+                or (self.pipeline.localize and self.localizer is not None)
+            )
+            self._emit(
+                Alarm(
+                    chip=self.chip,
+                    window=window,
+                    time_s=time_s,
+                    sensor=self._sensors[stream],
+                    feature_db=float(features[stream, offset]),
+                    z=float(step.z[stream]),
+                    escalating=escalating,
+                )
+            )
+            if escalating:
+                self._escalate(chunk, offset, window)
+
+    def bind(self, source: TraceStream) -> None:
+        """Attach a stream source (escalation pulls records from it).
+
+        Called by :meth:`run`; schedulers that drive the pipeline
+        chunk-by-chunk (the fleet) bind explicitly before the first
+        :meth:`process_chunk`.
+        """
+        if source.n_streams != self.n_streams:
+            raise AnalysisError(
+                f"source has {source.n_streams} streams, pipeline monitors "
+                f"{self.n_streams}"
+            )
+        self._source = source
+        self._sensors = tuple(
+            getattr(source, "sensors", range(self.n_streams))
+        )
+
+    def run(self, source: TraceStream) -> MonitorReport:
+        """Monitor a stream end to end; returns the session report."""
+        self.bind(source)
+        for chunk in source.chunks():
+            self.process_chunk(chunk)
+        return self.report(trigger_index=source.trigger_index)
+
+    def report(self, trigger_index: Optional[int] = None) -> MonitorReport:
+        """Snapshot the session so far as a :class:`MonitorReport`."""
+        first_alarm = self._timeline.first_alarm
+        mttd = None
+        if trigger_index is not None:
+            mttd = mttd_from_alarm(
+                first_alarm, trigger_index, self.config, self.pipeline.mttd
+            )
+        features = self._timeline.features_matrix()
+        features.flags.writeable = False
+        return MonitorReport(
+            chip=self.chip,
+            sensors=self._sensors,
+            n_windows=self._timeline.n_windows,
+            trace_period_s=self._timeline.trace_period_s,
+            features_db=features,
+            window_times_s=self._timeline.window_times_s,
+            alarms=self._timeline.alarms,
+            first_alarm=first_alarm,
+            trigger_index=trigger_index,
+            mttd=mttd,
+            identification=self._identification,
+            localization=self._localization,
+            escalations=self._escalations,
+            final_state=self.state.value,
+            event_counts=dict(self._event_counts),
+        )

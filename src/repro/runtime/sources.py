@@ -1,0 +1,515 @@
+"""Trace streams: where the monitoring pipeline's windows come from.
+
+Two production sources sit behind one :class:`TraceStream` protocol:
+
+* :class:`LiveSource` renders measurement windows *on demand* through
+  the batched :class:`~repro.engine.MeasurementEngine` — a scripted
+  :class:`ActivationSchedule` says which workload runs when (including
+  the mid-stream Trojan activation), and each pulled chunk is one
+  vectorized engine render.  Because every capture draws from the RNG
+  stream ``render/{scenario}/{receiver}/{trace_index}``, a streamed
+  run is **bit-identical** to the equivalent one-shot offline render
+  at any chunk size.
+* :class:`ReplaySource` iterates a ``.npz`` trace archive through the
+  chunked :func:`repro.traceio.iter_traces` reader, never holding more
+  than one chunk of samples — recorded sessions re-run through the
+  same pipeline.
+
+Both yield :class:`StreamChunk` blocks: a ``(n_streams, k,
+n_samples)`` sample stack plus per-window bookkeeping, the unit of
+work the escalation pipeline consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator, List, Optional, Protocol, Sequence, Tuple, runtime_checkable
+
+import numpy as np
+
+from ..chip.power import ActivityRecord
+from ..errors import AnalysisError, WorkloadError
+from ..traceio import iter_traces, read_header, save_traces
+from ..traces import Trace
+from ..workloads.campaign import MeasurementCampaign, StreamSegment
+from ..workloads.scenarios import SCENARIOS, reference_for, scenario_by_name
+
+#: The sensor the run-time monitor watches by default (covers the
+#: Trojan cluster on the paper's chip).
+DEFAULT_MONITOR_SENSOR = 10
+
+#: Default windows per pulled chunk (matches the engine's irFFT
+#: chunking sweet spot).
+DEFAULT_CHUNK_WINDOWS = 16
+
+
+@dataclass(frozen=True)
+class StreamChunk:
+    """One contiguous block of monitoring windows.
+
+    Attributes
+    ----------
+    samples:
+        Voltage samples [V], shape ``(n_streams, k, n_samples)`` —
+        one row of ``k`` consecutive windows per monitored stream.
+    fs:
+        Sampling rate [Hz].
+    start:
+        Global stream index of the first window in the block.
+    scenarios:
+        Workload scenario per window.
+    trace_indices:
+        Capture (RNG/workload) index per window.
+    labels:
+        Receiver label per stream row.
+    """
+
+    samples: np.ndarray
+    fs: float
+    start: int
+    scenarios: Tuple[str, ...]
+    trace_indices: Tuple[int, ...]
+    labels: Tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if self.samples.ndim != 3:
+            raise AnalysisError(
+                "StreamChunk samples must be (n_streams, k, n_samples), "
+                f"got shape {self.samples.shape}"
+            )
+        n_streams, k, _ = self.samples.shape
+        if len(self.scenarios) != k or len(self.trace_indices) != k:
+            raise AnalysisError("one scenario/index per window required")
+        if len(self.labels) != n_streams:
+            raise AnalysisError("one label per stream required")
+
+    @property
+    def n_streams(self) -> int:
+        """Monitored streams in the block."""
+        return int(self.samples.shape[0])
+
+    @property
+    def n_windows(self) -> int:
+        """Windows in the block."""
+        return int(self.samples.shape[1])
+
+    def trace(self, stream: int, offset: int) -> Trace:
+        """One window of one stream as a :class:`~repro.traces.Trace`."""
+        if not 0 <= stream < self.n_streams:
+            raise AnalysisError(
+                f"stream {stream} outside 0..{self.n_streams - 1}"
+            )
+        if not 0 <= offset < self.n_windows:
+            raise AnalysisError(
+                f"window offset {offset} outside 0..{self.n_windows - 1}"
+            )
+        return Trace(
+            samples=self.samples[stream, offset],
+            fs=self.fs,
+            label=self.labels[stream],
+            scenario=self.scenarios[offset],
+            meta={"trace_index": self.trace_indices[offset]},
+        )
+
+
+def _scenario_is_active(name: str) -> bool:
+    """Whether a scenario name carries an armed Trojan payload."""
+    scenario = SCENARIOS.get(name)
+    return scenario is not None and bool(scenario.active)
+
+
+@dataclass(frozen=True)
+class ActivationSchedule:
+    """Scripted workload timeline of a monitoring session.
+
+    An ordered tuple of :class:`~repro.workloads.campaign.StreamSegment`
+    spans; the Trojan "activates" at the first span whose scenario has
+    an armed payload.  The schedule is what makes a streamed session
+    reproducible: window ``w`` maps to exactly one (scenario,
+    trace_index) capture, independent of chunking.
+
+    Attributes
+    ----------
+    segments:
+        Stream spans in capture order.
+    """
+
+    segments: Tuple[StreamSegment, ...]
+
+    def __post_init__(self) -> None:
+        if not self.segments:
+            raise WorkloadError("schedule needs at least one segment")
+        for segment in self.segments:
+            scenario_by_name(segment.scenario)
+
+    @classmethod
+    def step(
+        cls,
+        trojan: str,
+        n_baseline: int = 8,
+        n_active: int = 6,
+        reference: str = "auto",
+        baseline_offset: int = 0,
+        active_offset: int = 500,
+    ) -> "ActivationSchedule":
+        """The canonical run-time script: quiet span, then activation.
+
+        ``reference="auto"`` resolves the matched Trojan-inactive
+        workload (T2 pairs with ``T2_ref``); distinct index offsets
+        keep the two spans in distinct workload epochs.
+        """
+        if reference == "auto":
+            reference = reference_for(trojan).name
+        return cls(
+            segments=(
+                StreamSegment(reference, n_baseline, baseline_offset),
+                StreamSegment(trojan, n_active, active_offset),
+            )
+        )
+
+    @property
+    def n_windows(self) -> int:
+        """Total windows scripted by the schedule."""
+        return sum(segment.n_traces for segment in self.segments)
+
+    @property
+    def trigger_index(self) -> Optional[int]:
+        """First window with an armed Trojan (None = never activates)."""
+        position = 0
+        for segment in self.segments:
+            if _scenario_is_active(segment.scenario):
+                return position
+            position += segment.n_traces
+        return None
+
+    @property
+    def trojan(self) -> Optional[str]:
+        """Scenario name of the first armed span (None = all quiet)."""
+        for segment in self.segments:
+            if _scenario_is_active(segment.scenario):
+                return segment.scenario
+        return None
+
+    @property
+    def reference(self) -> str:
+        """Scenario name of the first span (the self-baseline workload)."""
+        return self.segments[0].scenario
+
+    def scenario_at(self, window: int) -> str:
+        """Scenario of one global window index."""
+        position = 0
+        for segment in self.segments:
+            if window < position + segment.n_traces:
+                return segment.scenario
+            position += segment.n_traces
+        raise WorkloadError(
+            f"window {window} outside the {self.n_windows}-window schedule"
+        )
+
+
+@runtime_checkable
+class TraceStream(Protocol):
+    """Anything the escalation pipeline can monitor.
+
+    A stream produces :class:`StreamChunk` blocks in window order and
+    knows its own shape; ``trigger_index`` is the scripted activation
+    window when known (live schedules, annotated replays) so MTTD can
+    be computed, and ``localization_records`` supplies matched
+    Trojan-inactive/active activity records for the LOCALIZE stage
+    (None when the stream cannot re-measure, e.g. archive replay).
+    """
+
+    @property
+    def n_streams(self) -> int: ...
+
+    @property
+    def n_windows(self) -> int: ...
+
+    @property
+    def trigger_index(self) -> Optional[int]: ...
+
+    def chunks(self) -> Iterator[StreamChunk]: ...
+
+    def localization_records(
+        self, n_records: int
+    ) -> Optional[Tuple[List[ActivityRecord], List[ActivityRecord]]]: ...
+
+
+class LiveSource:
+    """On-demand rendering of a scripted monitoring session.
+
+    Each pulled chunk is one batched engine render of up to ``chunk``
+    consecutive windows (never spanning a schedule segment boundary,
+    so every window keeps its scripted (scenario, trace_index)
+    identity).  The engine's determinism contract makes the stream
+    bit-identical to the one-shot offline render of the same schedule
+    — at chunk size 1, 7, 64 or anything else.
+
+    Parameters
+    ----------
+    campaign:
+        The measurement campaign (chip + PSA + engine) to render with.
+    schedule:
+        Scripted workload timeline.
+    sensors:
+        Sensor indices to monitor (one detector stream each).
+    chunk:
+        Maximum windows per pulled chunk.
+    record_cache:
+        Optional ``(scenario, trace_index) -> ActivityRecord`` memo
+        shared with other consumers of the same chip (records are
+        deterministic in that key).  The monitored chip's activity
+        exists independently of the monitor — in deployment the
+        workload simply runs — so pre-populating the cache (see
+        :meth:`warm_records`) isolates the monitor's own
+        capture-plus-processing cost.
+    """
+
+    def __init__(
+        self,
+        campaign: MeasurementCampaign,
+        schedule: ActivationSchedule,
+        sensors: Sequence[int] = (DEFAULT_MONITOR_SENSOR,),
+        chunk: int = DEFAULT_CHUNK_WINDOWS,
+        record_cache: Optional[dict] = None,
+    ):
+        if chunk < 1:
+            raise AnalysisError(f"chunk must be >= 1, got {chunk}")
+        if not sensors:
+            raise AnalysisError("need at least one monitored sensor")
+        self.campaign = campaign
+        self.schedule = schedule
+        self.sensors = tuple(int(s) for s in sensors)
+        self.chunk = chunk
+        self._record_cache: dict = (
+            record_cache if record_cache is not None else {}
+        )
+
+    def warm_records(self) -> int:
+        """Pre-simulate every scheduled activity record into the cache.
+
+        Returns the number of records now cached.  Benchmarks (and
+        latency-sensitive deployments) call this so the streamed
+        session measures monitoring throughput — capture, feature
+        extraction, detection — rather than workload simulation.
+        """
+        for segment in self.schedule.segments:
+            scenario = scenario_by_name(segment.scenario)
+            for index in segment.indices:
+                key = (scenario.name, index)
+                if key not in self._record_cache:
+                    self._record_cache[key] = self.campaign.record(
+                        scenario, index
+                    )
+        return len(self._record_cache)
+
+    @property
+    def n_streams(self) -> int:
+        """One stream per monitored sensor."""
+        return len(self.sensors)
+
+    @property
+    def n_windows(self) -> int:
+        """Windows the schedule will produce."""
+        return self.schedule.n_windows
+
+    @property
+    def trigger_index(self) -> Optional[int]:
+        """Scripted activation window."""
+        return self.schedule.trigger_index
+
+    @property
+    def config(self):
+        """The simulation config behind the rendered windows."""
+        return self.campaign.chip.config
+
+    def chunks(self) -> Iterator[StreamChunk]:
+        """Render the schedule chunk by chunk, in window order."""
+        position = 0
+        for segment in self.schedule.segments:
+            for lo in range(0, segment.n_traces, self.chunk):
+                k = min(self.chunk, segment.n_traces - lo)
+                sub = StreamSegment(
+                    segment.scenario, k, segment.index_offset + lo
+                )
+                batch = self.campaign.collect_stream(
+                    [sub],
+                    sensors=list(self.sensors),
+                    record_cache=self._record_cache,
+                )
+                yield StreamChunk(
+                    samples=batch.samples,
+                    fs=batch.fs,
+                    start=position,
+                    scenarios=batch.scenarios,
+                    trace_indices=batch.trace_indices,
+                    labels=batch.labels,
+                )
+                position += k
+
+    def localization_records(
+        self,
+        n_records: int,
+        baseline_epoch: int = 3000,
+        active_epoch: int = 3500,
+    ) -> Optional[Tuple[List[ActivityRecord], List[ActivityRecord]]]:
+        """Matched populations for the LOCALIZE stage.
+
+        Fresh workload epochs (far from the monitoring stream's own
+        indices) of the schedule's reference and Trojan scenarios —
+        the live system can always take more measurements, which is
+        exactly what the paper's reprogram-and-refine step does.
+        """
+        trojan = self.schedule.trojan
+        if trojan is None:
+            return None
+        reference = scenario_by_name(self.schedule.reference)
+        active = scenario_by_name(trojan)
+        base_records = [
+            self.campaign.record(reference, baseline_epoch + i)
+            for i in range(n_records)
+        ]
+        active_records = [
+            self.campaign.record(active, active_epoch + i)
+            for i in range(n_records)
+        ]
+        return base_records, active_records
+
+
+class ReplaySource:
+    """Streamed replay of a recorded ``.npz`` trace archive.
+
+    The archive is read through the chunked
+    :func:`repro.traceio.iter_traces` reader — at most one chunk of
+    samples is in memory at a time, so arbitrarily long recordings
+    replay with bounded footprint.  Traces are stored window-major:
+    with ``n_streams`` monitored streams, window ``w`` occupies traces
+    ``w*n_streams .. (w+1)*n_streams - 1``.
+
+    The activation window is recovered from the recorded scenario
+    labels (first window whose scenario carries an armed payload), so
+    MTTD accounting survives the round-trip; localization cannot (a
+    replay cannot take new measurements), so
+    :meth:`localization_records` returns None and the pipeline stops
+    its escalation at IDENTIFY.
+
+    Parameters
+    ----------
+    path:
+        Archive written by :func:`repro.traceio.save_traces` (e.g. via
+        :func:`record_stream`).
+    batch:
+        Maximum windows per pulled chunk.
+    n_streams:
+        Monitored streams interleaved in the archive; None (the
+        default) recovers the count from the recorded receiver labels
+        (the per-window label pattern of the window-major layout).
+        An explicit count is validated against that pattern, so a
+        mismatched replay fails loudly instead of interleaving
+        different sensors into one detector stream.
+    """
+
+    def __init__(
+        self,
+        path: "str | Path",
+        batch: int = DEFAULT_CHUNK_WINDOWS,
+        n_streams: Optional[int] = None,
+    ):
+        if batch < 1:
+            raise AnalysisError(f"batch must be >= 1, got {batch}")
+        self.path = Path(path)
+        self.batch = batch
+        header = read_header(self.path)
+        entries = header["traces"]
+        labels = [str(entry["label"]) for entry in entries]
+        if n_streams is None:
+            # Window-major layout: the first window's labels run until
+            # the leading label repeats (or the archive ends).
+            try:
+                n_streams = labels.index(labels[0], 1)
+            except ValueError:
+                n_streams = len(labels)
+        if n_streams < 1:
+            raise AnalysisError(f"n_streams must be >= 1, got {n_streams}")
+        if len(entries) % n_streams:
+            raise AnalysisError(
+                f"archive holds {len(entries)} traces, not a multiple of "
+                f"{n_streams} streams"
+            )
+        for position, label in enumerate(labels):
+            if label != labels[position % n_streams]:
+                raise AnalysisError(
+                    f"archive trace {position} is labeled {label!r} where "
+                    f"the {n_streams}-stream window-major layout expects "
+                    f"{labels[position % n_streams]!r}"
+                )
+        self._n_streams = n_streams
+        self._n_windows = len(entries) // n_streams
+        self._scenarios = tuple(
+            str(entries[w * n_streams]["scenario"])
+            for w in range(self._n_windows)
+        )
+
+    @property
+    def n_streams(self) -> int:
+        """Streams interleaved in the archive."""
+        return self._n_streams
+
+    @property
+    def n_windows(self) -> int:
+        """Whole windows stored in the archive."""
+        return self._n_windows
+
+    @property
+    def trigger_index(self) -> Optional[int]:
+        """Activation window recovered from recorded scenario labels."""
+        for window, name in enumerate(self._scenarios):
+            if _scenario_is_active(name):
+                return window
+        return None
+
+    def chunks(self) -> Iterator[StreamChunk]:
+        """Stream the archive back as whole-window chunks."""
+        position = 0
+        for group in iter_traces(self.path, batch=self.batch * self._n_streams):
+            k = len(group) // self._n_streams
+            first = group[0]
+            stack = np.stack([trace.samples for trace in group])
+            samples = (
+                stack.reshape(k, self._n_streams, -1).transpose(1, 0, 2)
+            )
+            windows = [group[w * self._n_streams] for w in range(k)]
+            yield StreamChunk(
+                samples=samples,
+                fs=first.fs,
+                start=position,
+                scenarios=tuple(trace.scenario for trace in windows),
+                trace_indices=tuple(
+                    int(trace.meta.get("trace_index", position + w))
+                    for w, trace in enumerate(windows)
+                ),
+                labels=tuple(trace.label for trace in group[: self._n_streams]),
+            )
+            position += k
+
+    def localization_records(self, n_records: int) -> None:
+        """A replay cannot re-measure; localization is unavailable."""
+        return None
+
+
+def record_stream(source: TraceStream, path: "str | Path") -> Path:
+    """Render a stream to a replayable archive (window-major layout).
+
+    Every window of every stream is materialized in chunk order and
+    saved through :func:`repro.traceio.save_traces`, producing exactly
+    the layout :class:`ReplaySource` expects — the round-trip
+    ``record_stream`` → ``ReplaySource`` reproduces the live session's
+    windows bit-for-bit.
+    """
+    traces: List[Trace] = []
+    for chunk in source.chunks():
+        for offset in range(chunk.n_windows):
+            for stream in range(chunk.n_streams):
+                traces.append(chunk.trace(stream, offset))
+    return save_traces(path, traces)

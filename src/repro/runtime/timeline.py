@@ -1,0 +1,94 @@
+"""Per-window timeline bookkeeping shared by every monitoring front-end.
+
+Both the vectorized :class:`~repro.runtime.pipeline.EscalationPipeline`
+and the per-trace :class:`~repro.instruments.rasc.RascMonitor` fold
+their decisions through one :class:`WindowTimeline`, so their timeline
+semantics — window indices, verdict timestamps at the capture-plus-
+processing cadence, first-alarm accounting — cannot drift apart.
+
+This module sits below the rest of :mod:`repro.runtime` (no imports
+from instruments or analysis) precisely so the instrument layer can
+reuse it.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import AnalysisError
+
+
+class WindowTimeline:
+    """Features, alarms and timestamps of one monitoring session.
+
+    Parameters
+    ----------
+    trace_period_s:
+        Capture + on-board processing period per window [s].
+    n_streams:
+        Feature streams folded per window.
+    """
+
+    def __init__(self, trace_period_s: float, n_streams: int = 1):
+        if trace_period_s <= 0:
+            raise AnalysisError("trace period must be positive")
+        if n_streams < 1:
+            raise AnalysisError("need at least one stream")
+        self.trace_period_s = trace_period_s
+        self.n_streams = n_streams
+        self._features: List[Tuple[float, ...]] = []
+        self._alarms: List[int] = []
+
+    def push(self, features: Sequence[float], alarm: bool) -> int:
+        """Record one window's features; returns its window index."""
+        row = tuple(float(value) for value in features)
+        if len(row) != self.n_streams:
+            raise AnalysisError(
+                f"expected {self.n_streams} features, got {len(row)}"
+            )
+        index = len(self._features)
+        self._features.append(row)
+        if alarm:
+            self._alarms.append(index)
+        return index
+
+    @property
+    def n_windows(self) -> int:
+        """Windows folded so far."""
+        return len(self._features)
+
+    @property
+    def alarms(self) -> Tuple[int, ...]:
+        """Every alarming window index, in order."""
+        return tuple(self._alarms)
+
+    @property
+    def first_alarm(self) -> Optional[int]:
+        """Window index of the first alarm (None = silent)."""
+        return self._alarms[0] if self._alarms else None
+
+    def time_of(self, window: int) -> float:
+        """Wall-clock session time of a window's verdict [s]."""
+        return (window + 1) * self.trace_period_s
+
+    @property
+    def window_indices(self) -> Tuple[int, ...]:
+        """Indices of the folded windows (``0..n_windows-1``)."""
+        return tuple(range(self.n_windows))
+
+    @property
+    def window_times_s(self) -> Tuple[float, ...]:
+        """Verdict timestamp per folded window [s]."""
+        return tuple(self.time_of(w) for w in range(self.n_windows))
+
+    def features_matrix(self) -> np.ndarray:
+        """All folded features, shape ``(n_streams, n_windows)``."""
+        if not self._features:
+            return np.empty((self.n_streams, 0))
+        return np.asarray(self._features, dtype=float).T
+
+    def stream_features(self, stream: int = 0) -> List[float]:
+        """One stream's feature timeline as a flat list."""
+        return [row[stream] for row in self._features]

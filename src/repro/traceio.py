@@ -3,13 +3,19 @@
 The archive layout is flat and self-describing: each trace stores its
 sample array plus a JSON metadata blob, so archives survive library
 version changes and can be inspected with plain numpy.
+
+Reading is streamed: :func:`iter_traces` walks the archive in bounded
+batches (``np.load`` decompresses members lazily, one array access at
+a time), so a replay consumer never materializes more than one batch
+of samples.  :func:`load_traces` is the convenience eager view over
+the same iterator.
 """
 
 from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Dict, List, Sequence
+from typing import Dict, Iterator, List, Sequence
 
 import numpy as np
 
@@ -17,6 +23,9 @@ from .errors import TraceIOError
 from .traces import Trace
 
 _FORMAT_VERSION = 1
+
+#: Default traces per :func:`iter_traces` batch.
+DEFAULT_READ_BATCH = 64
 
 
 def save_traces(path: "str | Path", traces: Sequence[Trace]) -> Path:
@@ -55,31 +64,89 @@ def save_traces(path: "str | Path", traces: Sequence[Trace]) -> Path:
     return path
 
 
-def load_traces(path: "str | Path") -> List[Trace]:
-    """Read back an archive written by :func:`save_traces`."""
+def _parse_header(archive, path: Path) -> Dict[str, object]:
+    """Validate and decode the header of an open archive."""
+    if "__header__" not in archive:
+        raise TraceIOError(f"{path} is not a repro trace archive")
+    header = json.loads(bytes(archive["__header__"]).decode("utf-8"))
+    if header.get("version") != _FORMAT_VERSION:
+        raise TraceIOError(
+            f"unsupported archive version {header.get('version')!r}"
+        )
+    return header
+
+
+def read_header(path: "str | Path") -> Dict[str, object]:
+    """Read and validate an archive's header without loading samples."""
     path = Path(path)
     if not path.exists():
         raise TraceIOError(f"no trace archive at {path}")
     with np.load(path, allow_pickle=False) as archive:
-        if "__header__" not in archive:
-            raise TraceIOError(f"{path} is not a repro trace archive")
-        header = json.loads(bytes(archive["__header__"]).decode("utf-8"))
-        if header.get("version") != _FORMAT_VERSION:
-            raise TraceIOError(
-                f"unsupported archive version {header.get('version')!r}"
-            )
-        traces = []
-        for entry in header["traces"]:
-            key = entry["key"]
-            if key not in archive:
-                raise TraceIOError(f"archive missing array {key!r}")
-            traces.append(
-                Trace(
-                    samples=archive[key],
-                    fs=float(entry["fs"]),
-                    label=str(entry["label"]),
-                    scenario=str(entry["scenario"]),
-                    meta=dict(entry["meta"]),
+        return _parse_header(archive, path)
+
+
+def trace_count(path: "str | Path") -> int:
+    """Traces stored in an archive (header only, no sample reads)."""
+    return len(read_header(path)["traces"])
+
+
+def iter_traces(
+    path: "str | Path", batch: int = DEFAULT_READ_BATCH
+) -> Iterator[List[Trace]]:
+    """Yield an archive's traces in bounded batches, in stored order.
+
+    The streaming read behind :class:`repro.runtime.ReplaySource`:
+    each yielded list holds at most ``batch`` traces, and only those
+    traces' sample arrays are decompressed while the batch is being
+    built — a multi-gigabyte archive replays with bounded memory.
+
+    Parameters
+    ----------
+    path:
+        Archive written by :func:`save_traces`.
+    batch:
+        Maximum traces per yielded list.
+
+    Raises
+    ------
+    TraceIOError
+        At call time (not first iteration) for a bad batch size or a
+        missing archive; header corruption surfaces on the first
+        ``next()`` (the archive is opened exactly once).
+    """
+    if batch < 1:
+        raise TraceIOError(f"batch must be >= 1, got {batch}")
+    path = Path(path)
+    if not path.exists():
+        raise TraceIOError(f"no trace archive at {path}")
+    return _iter_traces(path, batch)
+
+
+def _iter_traces(path: Path, batch: int) -> Iterator[List[Trace]]:
+    with np.load(path, allow_pickle=False) as archive:
+        entries = _parse_header(archive, path)["traces"]
+        for start in range(0, len(entries), batch):
+            chunk: List[Trace] = []
+            for entry in entries[start : start + batch]:
+                key = entry["key"]
+                if key not in archive:
+                    raise TraceIOError(f"archive missing array {key!r}")
+                chunk.append(
+                    Trace(
+                        samples=archive[key],
+                        fs=float(entry["fs"]),
+                        label=str(entry["label"]),
+                        scenario=str(entry["scenario"]),
+                        meta=dict(entry["meta"]),
+                    )
                 )
-            )
-    return traces
+            yield chunk
+
+
+def load_traces(path: "str | Path") -> List[Trace]:
+    """Read back an archive written by :func:`save_traces`.
+
+    Eager view over :func:`iter_traces` — same traces, same order,
+    one flat list.
+    """
+    return [trace for chunk in iter_traces(path) for trace in chunk]

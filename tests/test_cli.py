@@ -35,6 +35,38 @@ def test_parser_sweep_grid_option():
         build_parser().parse_args(["sweep", "--grid", "bogus"])
 
 
+def test_parser_monitor_options():
+    args = build_parser().parse_args(["monitor"])
+    assert args.experiment == "monitor"
+    assert args.preset == "paper"
+    assert args.fleet == 1
+    assert args.queue_depth == 2
+    assert args.events is None
+    assert args.monitor_json is None
+    args = build_parser().parse_args(
+        [
+            "monitor",
+            "--preset",
+            "smoke",
+            "--fleet",
+            "4",
+            "--queue-depth",
+            "3",
+            "--events",
+            "events.jsonl",
+            "--monitor-json",
+            "fleet.json",
+        ]
+    )
+    assert args.preset == "smoke"
+    assert args.fleet == 4
+    assert args.queue_depth == 3
+    assert args.events == "events.jsonl"
+    assert args.monitor_json == "fleet.json"
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["monitor", "--preset", "bogus"])
+
+
 def test_parser_rejects_unknown():
     with pytest.raises(SystemExit):
         build_parser().parse_args(["fig9"])
@@ -54,4 +86,5 @@ def test_command_table_covers_paper_artifacts():
         "cost",
         "ablations",
         "sweep",
+        "monitor",
     } == set(_COMMANDS)

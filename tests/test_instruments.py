@@ -140,6 +140,42 @@ def test_rasc_monitor_alarm_timeline():
         5 * (traces[0].duration + 1e-3)
     )
     assert len(report.features_db) == 5
+    # Per-window bookkeeping (shared with the runtime subsystem).
+    assert report.window_indices == (0, 1, 2, 3, 4)
+    assert report.alarms == (4,)
+    assert report.window_times_s == pytest.approx(
+        tuple((i + 1) * report.trace_period_s for i in range(5))
+    )
+    # The report owns trigger arithmetic (no hand-rolled bookkeeping).
+    assert report.traces_to_detect(trigger_index=3) == 2
+    assert report.traces_to_detect(trigger_index=5) is None
+    assert report.state_at(0, warmup=2, trigger_index=3) == "warm-up"
+    assert report.state_at(2, warmup=2, trigger_index=3) == "armed, quiet"
+    assert report.state_at(3, warmup=2, trigger_index=3) == "TROJAN ACTIVE"
+    assert report.state_at(4, warmup=2, trigger_index=3) == "ALARM"
+
+
+def test_rasc_monitor_watch_past_first_alarm():
+    class EveryThird:
+        def __init__(self):
+            self.count = 0
+
+        def update(self, feature):
+            self.count += 1
+            alarm = self.count % 3 == 0
+
+            class Decision:
+                pass
+
+            Decision.alarm = alarm
+            return Decision()
+
+    traces = [_tone_trace(48e6) for _ in range(7)]
+    monitor = RascMonitor(lambda t: t.rms(), EveryThird())
+    report = monitor.monitor(traces, stop_on_alarm=False)
+    assert len(report.features_db) == 7
+    assert report.alarms == (2, 5)
+    assert report.alarm_index == 2
 
 
 def test_rasc_monitor_requires_traces():

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.errors import MeasurementError, TraceIOError
-from repro.traceio import load_traces, save_traces
+from repro.traceio import iter_traces, load_traces, save_traces, trace_count
 from repro.traces import Trace
 
 
@@ -56,6 +56,47 @@ def test_save_appends_npz_suffix(tmp_path):
     path = save_traces(tmp_path / "noext", [_trace()])
     assert path.suffix == ".npz"
     assert path.exists()
+
+
+@pytest.mark.parametrize("batch", [1, 2, 3, 64])
+def test_iter_traces_batches(tmp_path, batch):
+    traces = [_trace(label=f"s{i}", seed=i) for i in range(7)]
+    path = save_traces(tmp_path / "archive.npz", traces)
+    chunks = list(iter_traces(path, batch=batch))
+    assert all(len(chunk) <= batch for chunk in chunks)
+    assert len(chunks) == -(-7 // batch)  # ceil division
+    flat = [trace for chunk in chunks for trace in chunk]
+    assert len(flat) == 7
+    for original, restored in zip(traces, flat):
+        assert np.array_equal(original.samples, restored.samples)
+        assert restored.label == original.label
+        assert restored.meta == original.meta
+
+
+def test_load_traces_matches_iter(tmp_path):
+    traces = [_trace(seed=i) for i in range(5)]
+    path = save_traces(tmp_path / "a.npz", traces)
+    eager = load_traces(path)
+    streamed = [t for chunk in iter_traces(path, batch=2) for t in chunk]
+    assert len(eager) == len(streamed)
+    for a, b in zip(eager, streamed):
+        assert np.array_equal(a.samples, b.samples)
+
+
+def test_trace_count_header_only(tmp_path):
+    path = save_traces(tmp_path / "a.npz", [_trace(seed=i) for i in range(4)])
+    assert trace_count(path) == 4
+
+
+def test_iter_traces_validates_batch_eagerly(tmp_path):
+    path = save_traces(tmp_path / "a.npz", [_trace()])
+    with pytest.raises(TraceIOError):
+        iter_traces(path, batch=0)  # at call time, not first next()
+
+
+def test_iter_traces_missing_archive_eagerly(tmp_path):
+    with pytest.raises(TraceIOError):
+        iter_traces(tmp_path / "nope.npz")
 
 
 def test_empty_archive_rejected(tmp_path):
