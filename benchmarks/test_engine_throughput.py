@@ -3,15 +3,19 @@
 Times a 16-sensor x 256-trace campaign through (a) the seed's
 per-trace render sequence (EMF convolution + noise + amplifier, one
 sensor-trace at a time) and (b) one batched engine render, then checks
-the ``process`` backend shards a 1024-trace batch across two workers
-with output identical to ``serial``.  Results are written to
-``BENCH_engine.json`` at the repo root so the performance trajectory
-is tracked from PR to PR.
+the ``process`` and ``shared`` backends shard a 1024-trace batch
+across two workers with output identical to ``serial``.  Results are
+written to ``BENCH_engine.json`` at the repo root so the performance
+trajectory is tracked from PR to PR.
+
+Set ``ENGINE_SMOKE=1`` to run a reduced CI variant: every equivalence
+check still runs, the speedup floor is not enforced.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import time
 from dataclasses import replace
 from pathlib import Path
@@ -20,18 +24,20 @@ import numpy as np
 
 from repro.em.coupling import emf_waveforms
 from repro.em.noise import NoiseModel
-from repro.engine import MeasurementEngine, ProcessBackend
+from repro.engine import MeasurementEngine, ProcessBackend, SharedMemoryBackend
 from repro.rng import stream
 from repro.workloads.scenarios import scenario_by_name
 
+SMOKE = os.environ.get("ENGINE_SMOKE", "") not in ("", "0")
+
 #: Campaign shape of the headline comparison.
 N_SENSORS = 16
-N_TRACES = 256
+N_TRACES = 48 if SMOKE else 256
 #: Distinct activity records cycled through the campaign (record
 #: synthesis is not part of the rendering path being measured).
-N_UNIQUE_RECORDS = 32
-#: Trace count of the process-backend scaling check (monitor sensor).
-N_PROCESS_TRACES = 1024
+N_UNIQUE_RECORDS = 8 if SMOKE else 32
+#: Trace count of the worker-backend scaling checks (monitor sensor).
+N_PROCESS_TRACES = 256 if SMOKE else 1024
 
 BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
 
@@ -138,6 +144,24 @@ def test_engine_throughput(ctx, benchmark):
         np.array_equal(serial_ref.samples, sharded.samples)
     )
 
+    # Shared-memory backend: the same sharded batch with inputs and
+    # rendered shards crossing the worker boundary zero-copy, still
+    # bit-for-bit identical to the serial reference.
+    shared_engine = MeasurementEngine(
+        ctx.config, amplifier=psa.amplifier, backend=SharedMemoryBackend(2)
+    )
+    start = time.perf_counter()
+    shared = shared_engine.render(
+        psa.coupling,
+        monitor_records,
+        trace_indices=monitor_indices,
+        receiver_indices=[10],
+    )
+    shared_1024_seconds = time.perf_counter() - start
+    shared_identical = bool(
+        np.array_equal(serial_ref.samples, shared.samples)
+    )
+
     report = {
         "workload": {
             "n_sensors": N_SENSORS,
@@ -145,6 +169,7 @@ def test_engine_throughput(ctx, benchmark):
             "n_unique_records": N_UNIQUE_RECORDS,
             "scenario": "baseline",
         },
+        "smoke": SMOKE,
         "legacy_per_trace": {
             "seconds": round(legacy_seconds, 3),
             "traces_per_sec": round(legacy_tps, 1),
@@ -162,6 +187,14 @@ def test_engine_throughput(ctx, benchmark):
             "process_seconds": round(process_1024_seconds, 3),
             "identical_to_serial": process_identical,
         },
+        "shared_backend": {
+            "n_traces": N_PROCESS_TRACES,
+            "n_sensors": 1,
+            "workers": 2,
+            "serial_seconds": round(serial_1024_seconds, 3),
+            "shared_seconds": round(shared_1024_seconds, 3),
+            "identical_to_serial": shared_identical,
+        },
     }
     BENCH_PATH.write_text(json.dumps(report, indent=2) + "\n")
     print()
@@ -169,4 +202,6 @@ def test_engine_throughput(ctx, benchmark):
 
     assert batch.samples.shape == (N_SENSORS, N_TRACES, psa.config.n_samples)
     assert process_identical
-    assert speedup >= 5.0, f"batched speedup {speedup:.2f}x below 5x"
+    assert shared_identical
+    if not SMOKE:
+        assert speedup >= 5.0, f"batched speedup {speedup:.2f}x below 5x"

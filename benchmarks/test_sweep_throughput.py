@@ -8,11 +8,16 @@ Evaluates the 4-Trojan × 4-workload ``bench4x4`` grid twice:
   ``PsaMethod.evaluate`` loops);
 * **sweep** — ``repro.sweep.DetectionSweep``: one batched engine render
   per cell, a shared record cache across cells, vectorized
-  featurization and the rolling-Welford detector bank.
+  featurization and the rolling-Welford detector bank;
+* **warm-start** — the same sweep backed by a content-addressed
+  ``ArtifactStore``: one store-cold run populates the artifacts, then
+  a fresh sweep replays them from disk.  The warm report must be
+  bit-identical to the cold one, and the timing is reported as its
+  own row — warm and cold numbers are never mixed.
 
-Both paths must agree bit-for-bit on features and alarms; the sweep
-must be >= 3x faster.  Results land in ``BENCH_sweep.json`` at the
-repo root so the performance trajectory is tracked from PR to PR.
+Both render paths must agree bit-for-bit on features and alarms; the
+sweep must be >= 3x faster.  Results land in ``BENCH_sweep.json`` at
+the repo root so the performance trajectory is tracked from PR to PR.
 
 Set ``SWEEP_SMOKE=1`` to run a 2-cell smoke variant (CI): equivalence
 is still asserted, the speedup floor is not.
@@ -22,6 +27,7 @@ from __future__ import annotations
 
 import json
 import os
+import tempfile
 import time
 from pathlib import Path
 
@@ -31,6 +37,7 @@ from repro.core.analysis.detector import RuntimeDetector
 from repro.core.analysis.spectral import sideband_feature_db
 from repro.dsp.stats import detection_power, detection_rate, roc_auc
 from repro.instruments.spectrum_analyzer import SpectrumAnalyzer
+from repro.store import ArtifactStore
 from repro.sweep import DetectionSweep, SweepGrid, benchmark_grid
 from repro.workloads.scenarios import scenario_by_name
 
@@ -125,6 +132,28 @@ def test_sweep_throughput(ctx, benchmark):
         assert best.detection_rate == legacy_result["detection_rate"]
         assert best.n_required == legacy_result["n_required"]
 
+    # Warm-start: populate a fresh artifact store, then replay the
+    # grid through a brand-new sweep bound to the same store.  The
+    # warm report must be bit-identical to the cold one.
+    with tempfile.TemporaryDirectory(prefix="bench-store-") as store_dir:
+        store_cold = ArtifactStore(store_dir)
+        start = time.perf_counter()
+        cold_report = DetectionSweep(
+            ctx.campaign, analyzer=analyzer, store=store_cold
+        ).run(grid)
+        store_cold_seconds = time.perf_counter() - start
+
+        store_warm = ArtifactStore(store_dir)
+        start = time.perf_counter()
+        warm_report = DetectionSweep(
+            ctx.campaign, analyzer=analyzer, store=store_warm
+        ).run(grid)
+        warm_seconds = time.perf_counter() - start
+    assert warm_report.to_json() == cold_report.to_json()
+    assert warm_report.to_json() == report.to_json()
+    assert store_warm.hits > 0 and store_warm.misses == 0
+    warm_speedup = store_cold_seconds / warm_seconds
+
     n_stream = grid.cells[0].n_baseline + grid.cells[0].n_active
     total_traces = grid.n_cells * n_stream
     speedup = legacy_seconds / sweep_seconds
@@ -149,6 +178,13 @@ def test_sweep_throughput(ctx, benchmark):
             "cells_per_sec": round(grid.n_cells / sweep_seconds, 2),
         },
         "speedup": round(speedup, 2),
+        "store_warm_start": {
+            "cold_seconds": round(store_cold_seconds, 3),
+            "warm_seconds": round(warm_seconds, 3),
+            "cells_per_sec": round(grid.n_cells / warm_seconds, 2),
+            "speedup_vs_cold": round(warm_speedup, 2),
+            "bit_identical": True,
+        },
         "all_detected": report.all_detected,
         "all_within_budget": report.all_within_budget,
     }

@@ -24,7 +24,7 @@ def main() -> None:
 
     print("chip: AES-128-LUT + UART + 4 Trojans (28,806 cells)")
     print(f"PSA: 16 programmable sensors, {psa.sensor_coils[0].n_turns}-turn"
-          f" coils, lattice 36x36")
+          " coils, lattice 36x36")
     print()
 
     analyzer = CrossDomainAnalyzer(chip, psa)

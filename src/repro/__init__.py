@@ -33,6 +33,7 @@ from .core.coil import Coil, synthesize_rect_coil
 from .core.analysis.pipeline import CrossDomainAnalyzer, CrossDomainReport
 from .engine import MeasurementEngine, TraceBatch
 from .instruments.spectrum_analyzer import SpectrumAnalyzer
+from .store import ArtifactStore
 from .workloads.campaign import MeasurementCampaign
 from .traceio import load_traces, save_traces
 
@@ -54,6 +55,7 @@ __all__ = [
     "CrossDomainReport",
     "MeasurementEngine",
     "TraceBatch",
+    "ArtifactStore",
     "SpectrumAnalyzer",
     "MeasurementCampaign",
     "load_traces",

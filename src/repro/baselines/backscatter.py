@@ -17,7 +17,7 @@ the real algorithm, implemented from scratch in :mod:`repro.dsp`.
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import Tuple
 
 import numpy as np
 

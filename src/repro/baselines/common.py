@@ -10,7 +10,7 @@ is apples to apples (and batched the same way).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 

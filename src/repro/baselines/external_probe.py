@@ -11,8 +11,6 @@ reproduces.
 
 from __future__ import annotations
 
-from typing import Optional
-
 from ..chip.testchip import TestChip
 from ..em.probes import langer_lf1_probe
 from ..errors import AnalysisError

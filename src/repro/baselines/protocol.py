@@ -13,7 +13,7 @@ and active (matched workloads), then derive:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict
 
 import numpy as np
 

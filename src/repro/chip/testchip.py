@@ -12,7 +12,7 @@ the paper's five measurement scenarios (no active HT, T1..T4).
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence
 
 import numpy as np
 

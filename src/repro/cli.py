@@ -6,9 +6,18 @@ Usage::
     psa-em fig4 --traces 5
     psa-em mttd --backend process --workers 4
     psa-em sweep --grid table1
+    psa-em sweep --grid smoke --no-store     # pin a cold run
     psa-em monitor --preset smoke
     psa-em monitor --fleet 4 --events fleet.jsonl
+    psa-em store stats                       # artifact-store admin
+    psa-em store gc --max-mb 512
+    psa-em store clear
     psa-em all
+
+Sweep and monitor runs warm-start from the content-addressed artifact
+store by default (``REPRO_STORE_DIR`` or the user cache dir); pass
+``--no-store`` for a guaranteed cold run — warm and cold timings are
+reported separately, never silently mixed.
 """
 
 from __future__ import annotations
@@ -22,8 +31,31 @@ from typing import Callable, Dict, List, Optional
 from .config import BACKEND_NAMES, SimConfig
 from .experiments.context import ExperimentContext
 from .runtime.presets import MONITOR_PRESETS
+from .store import ArtifactStore
 from .sweep.grid import GRIDS
 from .sweep.localize import LOCALIZE_GRIDS
+
+
+def _resolve_store(args: argparse.Namespace) -> Optional[ArtifactStore]:
+    """The artifact store selected by the CLI flags (None = cold run)."""
+    if args.no_store:
+        return None
+    return ArtifactStore(args.store_dir)
+
+
+def _store_summary(store: Optional[ArtifactStore]) -> str:
+    """One-line provenance of a run's store usage.
+
+    Cold runs say so explicitly and warm runs report their hit/miss
+    counts, so a pasted timing is never ambiguous about whether it
+    was store-accelerated.
+    """
+    if store is None:
+        return "store: disabled (cold run)"
+    return (
+        f"store: {store.hits} hits, {store.misses} misses, "
+        f"{store.writes} writes ({store.root})"
+    )
 
 
 def _cmd_table1(ctx: ExperimentContext, args: argparse.Namespace) -> str:
@@ -97,14 +129,19 @@ def _cmd_sweep(ctx: ExperimentContext, args: argparse.Namespace) -> str:
         build_localize_grid,
     )
 
+    store = _resolve_store(args)
     if args.grid in LOCALIZE_GRIDS:
-        sweep = LocalizationSweep(ctx.config, campaign=ctx.campaign)
+        sweep = LocalizationSweep(
+            ctx.config, campaign=ctx.campaign, store=store
+        )
         report = sweep.run(build_localize_grid(args.grid))
     else:
-        report = DetectionSweep(ctx.campaign).run(build_grid(args.grid))
+        report = DetectionSweep(ctx.campaign, store=store).run(
+            build_grid(args.grid)
+        )
     if args.sweep_json:
         Path(args.sweep_json).write_text(report.to_json() + "\n")
-    return report.format()
+    return report.format() + "\n" + _store_summary(store)
 
 
 def _cmd_monitor(ctx: ExperimentContext, args: argparse.Namespace) -> str:
@@ -112,6 +149,7 @@ def _cmd_monitor(ctx: ExperimentContext, args: argparse.Namespace) -> str:
 
     bus = EventBus()
     sink = None
+    store = _resolve_store(args)
     if args.events:
         sink = JsonlSink(args.events)
         bus.subscribe(sink)
@@ -122,6 +160,7 @@ def _cmd_monitor(ctx: ExperimentContext, args: argparse.Namespace) -> str:
             config=ctx.config,
             bus=bus,
             queue_depth=args.queue_depth,
+            store=store,
         )
         report = scheduler.run()
     finally:
@@ -131,7 +170,7 @@ def _cmd_monitor(ctx: ExperimentContext, args: argparse.Namespace) -> str:
         Path(args.monitor_json).write_text(
             json.dumps(report.to_dict(), indent=2) + "\n"
         )
-    return report.format()
+    return report.format() + "\n" + _store_summary(store)
 
 
 def _cmd_ablations(ctx: ExperimentContext, args: argparse.Namespace) -> str:
@@ -250,11 +289,80 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="also write the monitor fleet report as JSON to PATH",
     )
+    parser.add_argument(
+        "--store-dir",
+        metavar="PATH",
+        default=None,
+        help=(
+            "artifact-store root for sweep/monitor warm-starts "
+            "(default: $REPRO_STORE_DIR, else the user cache dir)"
+        ),
+    )
+    parser.add_argument(
+        "--no-store",
+        action="store_true",
+        help=(
+            "disable the artifact store for this run (guaranteed "
+            "cold start; CI smoke jobs use this to pin cold timings)"
+        ),
+    )
     return parser
+
+
+def build_store_parser() -> argparse.ArgumentParser:
+    """Parser of the ``repro store`` administrative subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="psa-em store",
+        description="Administer the content-addressed artifact store.",
+    )
+    parser.add_argument(
+        "action",
+        choices=("stats", "gc", "clear"),
+        help="stats: show contents; gc: LRU-evict; clear: drop all",
+    )
+    parser.add_argument(
+        "--store-dir",
+        metavar="PATH",
+        default=None,
+        help=(
+            "store root (default: $REPRO_STORE_DIR, else the user "
+            "cache dir)"
+        ),
+    )
+    parser.add_argument(
+        "--max-mb",
+        type=float,
+        default=None,
+        help="gc size cap in MB (default: the store's configured cap)",
+    )
+    return parser
+
+
+def store_main(argv: List[str]) -> int:
+    """Entry point of ``repro store {stats,gc,clear}``."""
+    args = build_store_parser().parse_args(argv)
+    store = ArtifactStore(args.store_dir)
+    if args.action == "stats":
+        print(store.stats().format())
+    elif args.action == "gc":
+        cap = None if args.max_mb is None else int(args.max_mb * 1e6)
+        evicted, freed = store.gc(cap)
+        print(
+            f"gc: evicted {evicted} entries ({freed / 1e6:.1f} MB) "
+            f"from {store.root}"
+        )
+    else:
+        removed = store.clear()
+        print(f"clear: removed {removed} entries from {store.root}")
+    return 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point."""
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "store":
+        return store_main(list(argv[1:]))
     args = build_parser().parse_args(argv)
     config = SimConfig().with_(
         engine_backend=args.backend, engine_workers=args.workers

@@ -12,7 +12,7 @@ harmonics and the Trojan sidebands land exactly on FFT bins.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Iterator
 
 import numpy as np
@@ -23,7 +23,7 @@ from .units import MHZ
 #: Execution backends of the measurement engine.  Canonical here (the
 #: lowest layer that needs the names) so config validation and the
 #: CLI/backends cannot drift apart.
-BACKEND_NAMES = ("serial", "process")
+BACKEND_NAMES = ("serial", "process", "shared")
 
 
 @dataclass(frozen=True)
@@ -53,11 +53,14 @@ class SimConfig:
         Root seed for every random stream derived from this config.
     engine_backend:
         Execution backend of the measurement engine: ``"serial"``
-        (in-process reference) or ``"process"`` (shard trace batches
-        across a worker pool).  Backends are bit-for-bit
-        interchangeable; this only selects how renders are executed.
+        (in-process reference), ``"process"`` (shard trace batches
+        across a worker pool) or ``"shared"`` (worker pool shipping
+        inputs and rendered shards through zero-copy shared memory).
+        Backends are bit-for-bit interchangeable; this only selects
+        how renders are executed.
     engine_workers:
-        Worker count for the ``process`` backend (0 = auto).
+        Worker count for the ``process``/``shared`` backends
+        (0 = auto).
     """
 
     f_clock: float = 33.0 * MHZ

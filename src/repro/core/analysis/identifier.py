@@ -30,7 +30,6 @@ from ...dsp.kmeans import KMeans, KMeansResult
 from ...errors import AnalysisError
 from ...instruments.spectrum_analyzer import SpectrumAnalyzer, ZeroSpanResult
 from ...traces import Trace
-from ...trojans.t1_am_carrier import T1_CARRIER_HZ
 
 #: Classifier thresholds (scale-free features), fitted on the measured
 #: envelope signatures (tests pin them):

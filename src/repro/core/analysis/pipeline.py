@@ -10,7 +10,7 @@ quadrant), and identify which Trojan it is from the zero-span envelope
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 

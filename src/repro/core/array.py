@@ -15,8 +15,6 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
-import numpy as np
-
 from ..calibration import COUPLING_SCALE
 from ..chip.power import ActivityRecord
 from ..chip.testchip import TestChip

@@ -11,7 +11,7 @@ contributes lattice-wire resistance.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Set, Tuple
+from typing import List, Set
 
 from ..chip.floorplan import Rect
 from ..em.coupling import Receiver

@@ -14,7 +14,7 @@ periodicity.  The features here quantify exactly those differences:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict
 
 import numpy as np

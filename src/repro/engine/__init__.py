@@ -7,9 +7,10 @@ analyzed voltage trace routes through here:
   (spectral synthesis, folded noise, one irFFT per trace);
 * :class:`TraceBatch` — the ``(n_receivers, n_traces, n_samples)``
   result container with lazy per-trace conversion;
-* :mod:`~repro.engine.backends` — pluggable execution backends
-  (``serial`` reference, ``process`` worker pool), selectable from
-  :class:`~repro.config.SimConfig` and the CLI;
+* :mod:`~repro.engine.backends` / :mod:`~repro.engine.shm` —
+  pluggable execution backends (``serial`` reference, ``process``
+  worker pool, ``shared`` zero-copy shared-memory pool), selectable
+  from :class:`~repro.config.SimConfig` and the CLI;
 * :mod:`~repro.engine.cache` — administration of the content-keyed
   coupling-geometry cache.
 
@@ -32,12 +33,14 @@ from .cache import (
     coupling_geometry_key,
 )
 from .engine import MeasurementEngine, ReceiverPlan, render_stream_name
+from .shm import SharedMemoryBackend
 
 __all__ = [
     "BACKEND_NAMES",
     "ExecutionBackend",
     "ProcessBackend",
     "SerialBackend",
+    "SharedMemoryBackend",
     "resolve_backend",
     "TraceBatch",
     "clear_coupling_cache",

@@ -125,9 +125,10 @@ def resolve_backend(
     ----------
     backend:
         A backend instance (returned as-is), a name (``"serial"`` /
-        ``"process"``), or None for the serial reference backend.
+        ``"process"`` / ``"shared"``), or None for the serial
+        reference backend.
     workers:
-        Worker count for the process backend (0 = machine CPU count).
+        Worker count for the pool backends (0 = machine CPU count).
 
     Returns
     -------
@@ -147,6 +148,12 @@ def resolve_backend(
         return SerialBackend()
     if backend == "process":
         return ProcessBackend(max_workers=workers or None)
+    if backend == "shared":
+        # In-function import: shm subclasses ProcessBackend from this
+        # module, so a top-level import would be circular.
+        from .shm import SharedMemoryBackend
+
+        return SharedMemoryBackend(max_workers=workers or None)
     raise ConfigError(
         f"unknown engine backend {backend!r}; choose from {BACKEND_NAMES}"
     )

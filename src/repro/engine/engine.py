@@ -320,6 +320,18 @@ class MeasurementEngine:
                     receiver_indices,
                 )
             )
+        # Backends with a zero-copy path (``shared``) assemble the
+        # result themselves in shared memory; everything else returns
+        # pickled shards that are concatenated here.  Both routes are
+        # bit-identical — only the transport differs.
+        map_concat = getattr(self.backend, "map_concat", None)
+        if map_concat is not None:
+            out_shape = (
+                len(receiver_indices),
+                n_traces,
+                self.config.n_samples,
+            )
+            return map_concat(_render_shard, payloads, out_shape, bounds)
         shards = self.backend.map(_render_shard, payloads)
         return np.concatenate(shards, axis=1)
 

@@ -1,0 +1,316 @@
+"""Zero-copy shared-memory execution backend.
+
+The ``process`` backend pickles every shard payload — including each
+record's low-rank activity factors — into the worker, and pickles the
+rendered sample arrays back out.  :class:`SharedMemoryBackend` removes
+both copies:
+
+* **inputs** — every factor array reachable from the shard payloads is
+  packed once into a single :class:`multiprocessing.shared_memory`
+  arena; payloads ship slim :class:`SharedArrayRef` descriptors and
+  workers resolve them to read-only views of the same physical pages
+  (a factor referenced by every shard crosses the process boundary
+  zero times instead of once per shard);
+* **outputs** — the backend allocates the full ``(n_receivers,
+  n_traces, n_samples)`` result in shared memory up front and each
+  worker writes its rendered column block straight into it; the parent
+  wraps the segment as the result array with no concatenation and no
+  result pickling.
+
+Because the transport never touches the rendered values — workers run
+the exact same serial render path — the backend is **bit-for-bit
+identical** to ``serial`` and ``process`` (the engine's determinism
+contract), and is selectable everywhere a backend spec is accepted:
+``SimConfig(engine_backend="shared")``, the CLI ``--backend shared``,
+or ``MeasurementEngine(..., backend="shared")``.
+
+Lifetime: the output segment lives exactly as long as the returned
+array (a ``weakref.finalize`` closes and unlinks it); input arenas are
+released as soon as the dispatch returns.
+"""
+
+from __future__ import annotations
+
+import weakref
+from dataclasses import dataclass
+from multiprocessing import resource_tracker, shared_memory
+from typing import Callable, Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from .backends import ProcessBackend
+
+
+@dataclass(frozen=True)
+class SharedArrayRef:
+    """Descriptor of one array inside a shared-memory arena."""
+
+    offset: int
+    shape: Tuple[int, ...]
+    dtype: str
+
+
+def _attach(name: str) -> shared_memory.SharedMemory:
+    """Attach to a segment owned by the parent process.
+
+    The attaching process must not let a resource tracker claim the
+    segment — the parent owns the lifecycle (under ``spawn`` the
+    worker's own tracker would unlink it at worker exit; under
+    ``fork`` the shared tracker would double-account it).  Python 3.13
+    exposes this as ``track=False``; on 3.10–3.12 the attach-time
+    registration is suppressed directly.
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:
+        pass
+    original = resource_tracker.register
+    resource_tracker.register = lambda *args, **kwargs: None
+    try:
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original
+
+
+def _view(shm: shared_memory.SharedMemory, ref: SharedArrayRef) -> np.ndarray:
+    """Read-only array view over one packed arena entry."""
+    view = np.ndarray(
+        ref.shape, dtype=np.dtype(ref.dtype), buffer=shm.buf, offset=ref.offset
+    )
+    view.flags.writeable = False
+    return view
+
+
+class _InputArena:
+    """Packs deduplicated input arrays into one shared segment."""
+
+    def __init__(self) -> None:
+        self._refs: Dict[int, SharedArrayRef] = {}
+        self._arrays: List[np.ndarray] = []
+        self._total = 0
+        self.shm: "shared_memory.SharedMemory | None" = None
+
+    def add(self, array: np.ndarray) -> SharedArrayRef:
+        """Plan one array into the arena (deduplicated by identity)."""
+        ref = self._refs.get(id(array))
+        if ref is None:
+            contiguous = np.ascontiguousarray(array)
+            # 64-byte alignment keeps every view cacheline-aligned.
+            offset = (self._total + 63) & ~63
+            ref = SharedArrayRef(
+                offset=offset,
+                shape=tuple(contiguous.shape),
+                dtype=contiguous.dtype.str,
+            )
+            self._refs[id(array)] = ref
+            self._arrays.append(contiguous)
+            self._total = offset + contiguous.nbytes
+        return ref
+
+    @property
+    def n_arrays(self) -> int:
+        return len(self._arrays)
+
+    def materialize(self) -> str:
+        """Create the segment, copy every planned array in; its name."""
+        self.shm = shared_memory.SharedMemory(
+            create=True, size=max(self._total, 1)
+        )
+        refs = list(self._refs.values())
+        for array, ref in zip(self._arrays, refs):
+            view = np.ndarray(
+                ref.shape,
+                dtype=np.dtype(ref.dtype),
+                buffer=self.shm.buf,
+                offset=ref.offset,
+            )
+            view[...] = array
+        return self.shm.name
+
+    def release(self) -> None:
+        if self.shm is not None:
+            self.shm.close()
+            try:
+                self.shm.unlink()
+            except FileNotFoundError:
+                pass
+            self.shm = None
+
+
+def _pack_payload(payload, arena: _InputArena, seen: Dict[int, bool]):
+    """Replace factor arrays in a shard payload with arena refs.
+
+    Walks the payload for objects carrying a ``factors`` dict (the
+    engine's record proxies and records) and rewrites each factor's
+    ``(name, weights, toggles)`` arrays into :class:`SharedArrayRef`
+    descriptors, in place.  Proxies deduplicated by identity across
+    shards are rewritten once.
+    """
+    if isinstance(payload, (tuple, list)):
+        return type(payload)(
+            _pack_payload(item, arena, seen) for item in payload
+        )
+    factors = getattr(payload, "factors", None)
+    if isinstance(factors, dict) and not seen.get(id(payload)):
+        seen[id(payload)] = True
+        payload.factors = {
+            group: [
+                (
+                    name,
+                    weights
+                    if isinstance(weights, SharedArrayRef)
+                    else arena.add(weights),
+                    toggles
+                    if isinstance(toggles, SharedArrayRef)
+                    else arena.add(toggles),
+                )
+                for name, weights, toggles in parts
+            ]
+            for group, parts in factors.items()
+        }
+    return payload
+
+
+def _resolve_payload(payload, shm: shared_memory.SharedMemory, seen):
+    """Worker-side inverse of :func:`_pack_payload` (views, no copies)."""
+    if isinstance(payload, (tuple, list)):
+        return type(payload)(
+            _resolve_payload(item, shm, seen) for item in payload
+        )
+    factors = getattr(payload, "factors", None)
+    if isinstance(factors, dict) and not seen.get(id(payload)):
+        seen[id(payload)] = True
+        payload.factors = {
+            group: [
+                (
+                    name,
+                    _view(shm, weights)
+                    if isinstance(weights, SharedArrayRef)
+                    else weights,
+                    _view(shm, toggles)
+                    if isinstance(toggles, SharedArrayRef)
+                    else toggles,
+                )
+                for name, weights, toggles in parts
+            ]
+            for group, parts in factors.items()
+        }
+    return payload
+
+
+def _run_shard(task) -> None:
+    """Pool entry point: render one shard into the shared output."""
+    (fn, payload, in_name, out_name, out_shape, out_dtype, lo, hi) = task
+    in_shm = _attach(in_name) if in_name is not None else None
+    out_shm = _attach(out_name)
+    try:
+        if in_shm is not None:
+            payload = _resolve_payload(payload, in_shm, {})
+        result = fn(payload)
+        out = np.ndarray(
+            out_shape, dtype=np.dtype(out_dtype), buffer=out_shm.buf
+        )
+        out[:, lo:hi] = result
+    finally:
+        out_shm.close()
+        if in_shm is not None:
+            in_shm.close()
+
+
+def _release_segment(shm: shared_memory.SharedMemory) -> None:
+    shm.close()
+    try:
+        shm.unlink()
+    except FileNotFoundError:
+        pass
+
+
+class SharedMemoryBackend(ProcessBackend):
+    """Worker-pool backend shipping shards through shared memory.
+
+    Pool management (lazy fork-preferring executor, :meth:`close`) is
+    inherited from :class:`~repro.engine.backends.ProcessBackend`; the
+    generic :meth:`map` fallback also remains available.  The engine
+    dispatches through :meth:`map_concat`, the zero-copy path.
+
+    Parameters
+    ----------
+    max_workers:
+        Pool size (default: the machine's CPU count, minimum 2).
+    """
+
+    name = "shared"
+
+    def map_concat(
+        self,
+        fn: Callable,
+        payloads: Sequence,
+        out_shape: Tuple[int, int, int],
+        splits: Sequence[int],
+        dtype=np.float64,
+    ) -> np.ndarray:
+        """Evaluate shard renders into one shared result array.
+
+        Parameters
+        ----------
+        fn:
+            Shard renderer returning ``(n_receivers, k, n_samples)``.
+        payloads:
+            One shard payload per ``splits`` interval.
+        out_shape:
+            Full result shape ``(n_receivers, n_traces, n_samples)``.
+        splits:
+            Column boundaries: shard ``i`` covers
+            ``splits[i]:splits[i+1]`` along axis 1.
+        dtype:
+            Result dtype.
+
+        Returns
+        -------
+        numpy.ndarray
+            The assembled result, backed by a shared segment whose
+            lifetime is tied to the returned array.
+        """
+        if len(payloads) != len(splits) - 1:
+            raise ValueError(
+                f"{len(payloads)} payloads for {len(splits) - 1} splits"
+            )
+        if len(payloads) == 1:
+            return np.asarray(fn(payloads[0]), dtype=dtype)
+
+        arena = _InputArena()
+        seen: Dict[int, bool] = {}
+        payloads = [
+            _pack_payload(payload, arena, seen) for payload in payloads
+        ]
+        in_name = arena.materialize() if arena.n_arrays else None
+        out_dtype = np.dtype(dtype)
+        out_shm = shared_memory.SharedMemory(
+            create=True,
+            size=max(int(np.prod(out_shape)) * out_dtype.itemsize, 1),
+        )
+        try:
+            tasks = [
+                (
+                    fn,
+                    payload,
+                    in_name,
+                    out_shm.name,
+                    tuple(out_shape),
+                    out_dtype.str,
+                    int(lo),
+                    int(hi),
+                )
+                for payload, lo, hi in zip(
+                    payloads, splits[:-1], splits[1:]
+                )
+            ]
+            list(self._pool().map(_run_shard, tasks))
+        except BaseException:
+            _release_segment(out_shm)
+            raise
+        finally:
+            arena.release()
+        out = np.ndarray(out_shape, dtype=out_dtype, buffer=out_shm.buf)
+        weakref.finalize(out, _release_segment, out_shm)
+        return out

@@ -48,5 +48,9 @@ class TraceIOError(ReproError):
     """Reading or writing a trace archive failed."""
 
 
+class StoreError(ReproError):
+    """An artifact-store operation failed (bad root, key, payload...)."""
+
+
 class WorkloadError(ReproError):
     """A workload/campaign specification is invalid."""

@@ -21,7 +21,6 @@ from typing import List, Optional
 import numpy as np
 
 from ..calibration import COUPLING_SCALE
-from ..chip.floorplan import default_floorplan
 from ..config import SimConfig
 from ..core.coil import synthesize_rect_coil
 from ..em.coupling import CouplingMatrix
@@ -188,7 +187,7 @@ def format_ablations(
             "duty",
             "even/odd [dB]",
         ),
-        f"even harmonics are most suppressed at duty "
+        "even harmonics are most suppressed at duty "
         f"{duty.min_ratio_duty:.2f} — the physical basis for sidebands "
         "appearing around the 1st/3rd harmonics only",
     ]

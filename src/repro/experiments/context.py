@@ -6,7 +6,7 @@ seconds; experiments and benchmarks share one lazily-built context.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from ..chip.testchip import TestChip

@@ -12,8 +12,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-import numpy as np
-
 from ..core.analysis.spectral import (
     find_prominent_components,
     sideband_feature_db,

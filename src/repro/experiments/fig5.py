@@ -12,8 +12,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional
 
-import numpy as np
-
 from ..core.analysis.identifier import TrojanIdentifier
 from ..core.analysis.spectral import sideband_frequencies
 from ..dsp.features import EnvelopeFeatures

@@ -13,7 +13,7 @@ Three results to reproduce:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Optional
 
 import numpy as np
 
@@ -160,7 +160,7 @@ def format_robustness(result: RobustnessResult) -> str:
         f"temperature span: {result.temperature.span_db:.1f} dB "
         "(paper: ~4 dB)",
         "",
-        f"chirp current response spread across VDD: "
+        "chirp current response spread across VDD: "
         f"{result.chirp.relative_span:.1%} (paper: 'does not change "
         "significantly')",
     ]

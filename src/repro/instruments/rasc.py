@@ -14,7 +14,7 @@ and reports a timeline suitable for MTTD evaluation.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, List, Protocol, Sequence, Tuple
 
 from ..errors import MeasurementError

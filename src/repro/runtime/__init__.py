@@ -85,5 +85,6 @@ __all__ = [
     "build_fleet",
     "build_preset",
     "chunk_features",
+    "read_events",
     "record_stream",
 ]

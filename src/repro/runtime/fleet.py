@@ -39,6 +39,7 @@ from ..core.analysis.localizer import Localizer
 from ..core.array import ProgrammableSensorArray
 from ..errors import AnalysisError
 from ..instruments.spectrum_analyzer import SpectrumAnalyzer
+from ..store import ArtifactStore
 from ..workloads.campaign import MeasurementCampaign
 from .events import EventBus
 from .pipeline import EscalationPipeline, MonitorReport, PipelineConfig
@@ -117,6 +118,7 @@ def build_chip_monitor(
     analyzer: Optional[SpectrumAnalyzer] = None,
     pipeline_config: Optional[PipelineConfig] = None,
     bus: Optional[EventBus] = None,
+    store: Optional["ArtifactStore"] = None,
 ) -> ChipMonitor:
     """Assemble one fleet member from its spec.
 
@@ -139,6 +141,10 @@ def build_chip_monitor(
     bus:
         Event bus shared by the fleet (each member stamps its own
         ``chip`` id); None gives each member a private bus.
+    store:
+        Optional :class:`~repro.store.ArtifactStore` backing the
+        member's record memo (each member keys its own namespace by
+        its chip fingerprint — distinct seeds never collide).
     """
     base = config or SimConfig()
     member_config = base.with_(seed=spec.seed)
@@ -156,7 +162,9 @@ def build_chip_monitor(
     sensors = (
         tuple(range(psa.n_sensors)) if spec.sensors is None else spec.sensors
     )
-    source = LiveSource(campaign, schedule, sensors=sensors, chunk=spec.chunk)
+    source = LiveSource(
+        campaign, schedule, sensors=sensors, chunk=spec.chunk, store=store
+    )
     tuning = replace(
         pipeline_config or PipelineConfig(), detector=spec.detector
     )

@@ -15,6 +15,7 @@ from typing import Callable, Dict, Optional, Tuple
 from ..config import SimConfig
 from ..core.analysis.detector import DetectorConfig
 from ..errors import AnalysisError
+from ..store import ArtifactStore
 from .events import EventBus
 from .fleet import ChipMonitor, ChipSpec, FleetScheduler, build_chip_monitor
 from .pipeline import PipelineConfig
@@ -152,6 +153,7 @@ def build_fleet(
     bus: Optional[EventBus] = None,
     queue_depth: int = 2,
     monitor_factory: Callable[..., ChipMonitor] = build_chip_monitor,
+    store: Optional[ArtifactStore] = None,
 ) -> FleetScheduler:
     """Assemble a ready-to-run fleet from a preset.
 
@@ -171,13 +173,16 @@ def build_fleet(
         Backpressure bound per member.
     monitor_factory:
         Override for tests (must match :func:`build_chip_monitor`).
+    store:
+        Optional :class:`~repro.store.ArtifactStore` shared by every
+        member's record memo (warm-starts repeated sessions).
     """
     if isinstance(preset, str):
         preset = build_preset(preset)
     tuning = preset.pipeline_config()
     monitors = [
         monitor_factory(
-            spec, config=config, pipeline_config=tuning, bus=bus
+            spec, config=config, pipeline_config=tuning, bus=bus, store=store
         )
         for spec in preset.specs(n_chips, base_seed=(config or SimConfig()).seed)
     ]

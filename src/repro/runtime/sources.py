@@ -30,6 +30,7 @@ import numpy as np
 
 from ..chip.power import ActivityRecord
 from ..errors import AnalysisError, WorkloadError
+from ..store import ArtifactStore, RecordCodec, chip_fingerprint
 from ..traceio import iter_traces, read_header, save_traces
 from ..traces import Trace
 from ..workloads.campaign import MeasurementCampaign, StreamSegment
@@ -264,6 +265,13 @@ class LiveSource:
         workload simply runs — so pre-populating the cache (see
         :meth:`warm_records`) isolates the monitor's own
         capture-plus-processing cost.
+    store:
+        Optional :class:`~repro.store.ArtifactStore`.  When given (and
+        no explicit ``record_cache`` was passed), the record memo
+        becomes a persistent store view keyed by the monitored chip's
+        content fingerprint: a repeated monitor session — including
+        :meth:`warm_records` — replays the chip's activity from disk,
+        bit-identical to simulating it fresh.
     """
 
     def __init__(
@@ -273,6 +281,7 @@ class LiveSource:
         sensors: Sequence[int] = (DEFAULT_MONITOR_SENSOR,),
         chunk: int = DEFAULT_CHUNK_WINDOWS,
         record_cache: Optional[dict] = None,
+        store: Optional[ArtifactStore] = None,
     ):
         if chunk < 1:
             raise AnalysisError(f"chunk must be >= 1, got {chunk}")
@@ -282,9 +291,25 @@ class LiveSource:
         self.schedule = schedule
         self.sensors = tuple(int(s) for s in sensors)
         self.chunk = chunk
-        self._record_cache: dict = (
-            record_cache if record_cache is not None else {}
-        )
+        if record_cache is not None:
+            self._record_cache = record_cache
+        elif store is not None:
+            self._record_cache = store.mapping(
+                "record",
+                {"chip": chip_fingerprint(campaign.chip)},
+                RecordCodec(campaign.chip.config),
+            )
+        else:
+            self._record_cache = {}
+
+    def _record(self, scenario, index: int) -> ActivityRecord:
+        """One activity record through the memo (disk-backed or not)."""
+        key = (scenario.name, index)
+        record = self._record_cache.get(key)
+        if record is None:
+            record = self.campaign.record(scenario, index)
+            self._record_cache[key] = record
+        return record
 
     def warm_records(self) -> int:
         """Pre-simulate every scheduled activity record into the cache.
@@ -293,15 +318,14 @@ class LiveSource:
         latency-sensitive deployments) call this so the streamed
         session measures monitoring throughput — capture, feature
         extraction, detection — rather than workload simulation.
+        With a store-backed cache the warm-up itself warm-starts:
+        records already persisted load from disk instead of
+        re-simulating.
         """
         for segment in self.schedule.segments:
             scenario = scenario_by_name(segment.scenario)
             for index in segment.indices:
-                key = (scenario.name, index)
-                if key not in self._record_cache:
-                    self._record_cache[key] = self.campaign.record(
-                        scenario, index
-                    )
+                self._record(scenario, index)
         return len(self._record_cache)
 
     @property
@@ -367,12 +391,11 @@ class LiveSource:
         reference = scenario_by_name(self.schedule.reference)
         active = scenario_by_name(trojan)
         base_records = [
-            self.campaign.record(reference, baseline_epoch + i)
+            self._record(reference, baseline_epoch + i)
             for i in range(n_records)
         ]
         active_records = [
-            self.campaign.record(active, active_epoch + i)
-            for i in range(n_records)
+            self._record(active, active_epoch + i) for i in range(n_records)
         ]
         return base_records, active_records
 

@@ -25,7 +25,15 @@ cells.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import (
+    Callable,
+    Dict,
+    List,
+    MutableMapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 import numpy as np
 
@@ -43,6 +51,7 @@ from ..core.analysis.scanner import AdaptiveScanner
 from ..core.array import ProgrammableSensorArray
 from ..errors import AnalysisError
 from ..instruments.spectrum_analyzer import SpectrumAnalyzer
+from ..store import ArtifactStore, RecordCodec, chip_fingerprint
 from ..workloads.campaign import MeasurementCampaign
 from ..workloads.scenarios import Scenario, reference_for, scenario_by_name
 from .report import LocalizeCellResult, LocalizeOutcome, SweepReport
@@ -292,7 +301,7 @@ class _PositionBundle:
     campaign: MeasurementCampaign
     localizer: Localizer
     scanner: AdaptiveScanner
-    record_cache: Dict[Tuple[str, int], ActivityRecord] = field(
+    record_cache: MutableMapping[Tuple[str, int], ActivityRecord] = field(
         default_factory=dict
     )
 
@@ -325,6 +334,12 @@ class LocalizationSweep:
         injected campaign's key, else the standard sweep key).
     mttd_model:
         Per-window timing used for the report's capture cadence.
+    store:
+        Optional :class:`~repro.store.ArtifactStore`.  Each position's
+        record memo becomes a persistent store view keyed by that
+        position's chip fingerprint, so repeated localization sweeps
+        (and any other consumer of the same chips) warm-start
+        bit-identically from disk.
     """
 
     def __init__(
@@ -334,6 +349,7 @@ class LocalizationSweep:
         campaign: Optional[MeasurementCampaign] = None,
         key: Optional[bytes] = None,
         mttd_model: Optional[MttdModel] = None,
+        store: Optional[ArtifactStore] = None,
     ):
         self.config = config or (
             campaign.chip.config if campaign is not None else SimConfig()
@@ -343,6 +359,7 @@ class LocalizationSweep:
             key = campaign.chip.key if campaign is not None else SWEEP_KEY
         self.key = key
         self.mttd_model = mttd_model or MttdModel()
+        self.store = store
         self._bundles: Dict[int, _PositionBundle] = {}
         if campaign is not None:
             if campaign.chip.config != self.config:
@@ -362,11 +379,20 @@ class LocalizationSweep:
             self._bundles[DEFAULT_TROJAN_SENSOR] = self._wrap(campaign)
 
     def _wrap(self, campaign: MeasurementCampaign) -> _PositionBundle:
+        if self.store is None:
+            record_cache: MutableMapping = {}
+        else:
+            record_cache = self.store.mapping(
+                "record",
+                {"chip": chip_fingerprint(campaign.chip)},
+                RecordCodec(self.config),
+            )
         return _PositionBundle(
             chip=campaign.chip,
             campaign=campaign,
             localizer=Localizer(campaign.psa, analyzer=self.analyzer),
             scanner=AdaptiveScanner(campaign.psa, analyzer=self.analyzer),
+            record_cache=record_cache,
         )
 
     def _bundle(self, position: int) -> _PositionBundle:

@@ -7,11 +7,14 @@ engine throughput:
    through :meth:`MeasurementCampaign.collect_stream`, one vectorized
    engine pass per distinct stream span of the cell.  The engine's
    coupling-geometry cache and configured execution backend
-   (serial/process) are reused as-is, and two sweep-wide memos exploit
-   the engine's determinism contract: a record cache re-uses chip
-   activity across cells that share workload indices, and a span-level
-   feature cache re-uses whole featurized spans (a baseline span shared
-   by every Trojan of a grid renders exactly once).
+   (serial/process/shared) are reused as-is, and two sweep-wide memos
+   exploit the engine's determinism contract: a record cache re-uses
+   chip activity across cells that share workload indices, and a
+   span-level feature cache re-uses whole featurized spans (a baseline
+   span shared by every Trojan of a grid renders exactly once).  With
+   an :class:`~repro.store.ArtifactStore` attached, both memos persist
+   on disk keyed by content, so repeated sweeps across processes
+   warm-start bit-identically.
 2. **Featurize** — (optional) auto-ranged RASC ADC quantization, then
    one batched display-spectrum + sideband-feature pass over every
    capture of the cell.
@@ -25,11 +28,10 @@ engine throughput:
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import MutableMapping, Optional, Tuple
 
 import numpy as np
 
-from ..chip.power import ActivityRecord
 from ..core.analysis.mttd import MttdModel, mttd_from_alarm
 from ..core.analysis.spectral import sideband_features_db
 from ..core.analysis.welford import DetectorBank
@@ -37,6 +39,15 @@ from ..dsp.stats import detection_power, detection_rate, roc_auc
 from ..instruments.adc import AdcSpec, quantize_batch
 from ..instruments.rasc import AUTO_RANGE_HEADROOM, RASC_ADC
 from ..instruments.spectrum_analyzer import SpectrumAnalyzer
+from ..store import (
+    ArrayCodec,
+    ArtifactStore,
+    RecordCodec,
+    adc_fingerprint,
+    analyzer_fingerprint,
+    campaign_fingerprint,
+    chip_fingerprint,
+)
 from ..workloads.campaign import MeasurementCampaign, StreamSegment
 from .grid import SweepCell, SweepGrid
 from .report import SensorOutcome, SweepCellResult, SweepReport
@@ -59,6 +70,13 @@ class DetectionSweep:
         Converter used by cells with ``quantize=True`` (the RASC
         monitor's converter by default, shared with
         :mod:`repro.instruments.rasc`).
+    store:
+        Optional :class:`~repro.store.ArtifactStore`.  When given, the
+        sweep-wide record and span-feature memos become persistent
+        store views keyed by the campaign's full content fingerprint:
+        a repeated sweep over the same chip/workload/engine setup
+        replays its artifacts from disk, bit-identical to a cold run.
+        None keeps the plain in-memory memos (the cold path).
     """
 
     def __init__(
@@ -67,14 +85,38 @@ class DetectionSweep:
         analyzer: Optional[SpectrumAnalyzer] = None,
         mttd_model: Optional[MttdModel] = None,
         adc: AdcSpec = RASC_ADC,
+        store: Optional[ArtifactStore] = None,
     ):
         self.campaign = campaign
         self.config = campaign.chip.config
         self.analyzer = analyzer or SpectrumAnalyzer()
         self.mttd_model = mttd_model or MttdModel()
         self.adc = adc
-        self._record_cache: Dict[Tuple[str, int], ActivityRecord] = {}
-        self._feature_cache: Dict[tuple, np.ndarray] = {}
+        self.store = store
+        self._record_cache: MutableMapping[Tuple[str, int], object]
+        self._feature_cache: MutableMapping[tuple, np.ndarray]
+        if store is None:
+            self._record_cache = {}
+            self._feature_cache = {}
+        else:
+            # Records depend on the chip alone (key/config/floorplan),
+            # so their context deliberately omits the PSA: every
+            # consumer of the same chip shares one record namespace.
+            self._record_cache = store.mapping(
+                "record",
+                {"chip": chip_fingerprint(campaign.chip)},
+                RecordCodec(self.config),
+            )
+            self._feature_cache = store.mapping(
+                "span-features",
+                {
+                    "campaign": campaign_fingerprint(campaign),
+                    "analyzer": analyzer_fingerprint(self.analyzer),
+                    "adc": adc_fingerprint(adc),
+                    "headroom": AUTO_RANGE_HEADROOM,
+                },
+                ArrayCodec(readonly=True),
+            )
 
     def run(self, grid: SweepGrid) -> SweepReport:
         """Evaluate every cell of a grid."""

@@ -22,8 +22,6 @@ from __future__ import annotations
 import math
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Optional
-
 from ..errors import WorkloadError
 from ..netlist.builder import TABLE2_TROJANS
 

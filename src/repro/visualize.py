@@ -6,7 +6,7 @@ changes — a poor man's amoeba view (Figure 2).
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence
+from typing import Sequence
 
 import numpy as np
 

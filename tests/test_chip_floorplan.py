@@ -12,7 +12,6 @@ from repro.chip.floorplan import (
     sensor_rect,
 )
 from repro.errors import FloorplanError
-from repro.units import UM
 
 
 def test_rect_basics():

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.coil import COIL_Z, Coil, synthesize_rect_coil
+from repro.core.coil import COIL_Z, synthesize_rect_coil
 from repro.core.grid import PITCH, PsaGrid
 from repro.em.devices import tgate_resistance
 from repro.errors import CoilSynthesisError

@@ -1,7 +1,6 @@
 """AES-128 correctness (FIPS-197 vectors + properties)."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

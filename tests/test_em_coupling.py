@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.chip.power import ActivityRecord
-from repro.config import SimConfig
 from repro.em.coupling import CouplingMatrix, emf_waveforms
 from repro.em.probes import langer_lf1_probe, single_coil_receiver
 from repro.errors import ConfigError

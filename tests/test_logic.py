@@ -11,7 +11,7 @@ from repro.logic.components import (
     build_decoder_4to16,
     build_equality_comparator,
 )
-from repro.logic.signals import HIGH, LOW, UNKNOWN, Wire, bus_value, drive_bus
+from repro.logic.signals import HIGH, UNKNOWN, Wire, bus_value, drive_bus
 from repro.logic.simulator import LogicSimulator
 
 

@@ -9,7 +9,6 @@ from repro.netlist.builder import (
     TABLE2_TROJANS,
     _scale_mix,
     build_main_circuit,
-    build_test_chip_netlist,
     build_trojan,
 )
 from repro.netlist.cells import CELL_LIBRARY, get_cell

@@ -8,7 +8,6 @@ import numpy as np
 import pytest
 
 from repro.cli import main
-from repro.config import SimConfig
 from repro.errors import AnalysisError
 from repro.runtime import (
     EventBus,
@@ -136,6 +135,10 @@ def test_cli_monitor_smoke(tmp_path, capsys):
             "smoke",
             "--fleet",
             "2",
+            # Keep the test hermetic: never touch the user's real
+            # artifact store.
+            "--store-dir",
+            str(tmp_path / "store"),
             "--events",
             str(events),
             "--monitor-json",

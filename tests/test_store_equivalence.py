@@ -1,0 +1,182 @@
+"""Cold vs warm store runs are bit-identical — the store's acceptance pin.
+
+Three consumer flows run twice against one artifact store: a cold run
+(empty store, everything rendered and persisted) and a warm run (a
+fresh consumer instance replaying from disk).  Reports must agree
+bit-for-bit, and the warm run must actually have hit the store.
+
+Also covers the CLI surface: ``repro store {stats,gc,clear}`` and the
+``--no-store``/``--store-dir``/``REPRO_STORE_DIR`` overrides that let
+CI smoke jobs pin cold-start timings.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main as cli_main
+from repro.core.analysis.detector import DetectorConfig
+from repro.runtime import build_fleet
+from repro.store import ArtifactStore
+from repro.sweep import DetectionSweep, LocalizationSweep
+from repro.sweep.grid import SweepCell, SweepGrid
+from repro.sweep.localize import LocalizeCell, LocalizeGrid
+
+
+@pytest.fixture()
+def store(tmp_path) -> ArtifactStore:
+    return ArtifactStore(tmp_path / "store")
+
+
+def _tiny_detection_grid() -> SweepGrid:
+    detector = DetectorConfig(warmup=4)
+    cells = (
+        SweepCell(
+            trojan="T4",
+            n_baseline=5,
+            n_active=3,
+            sensors=(10,),
+            detector=detector,
+        ),
+        SweepCell(
+            trojan="T1",
+            n_baseline=5,
+            n_active=3,
+            sensors=(10, 6),
+            detector=detector,
+        ),
+    )
+    return SweepGrid(name="store-check", cells=cells, keep_features=True)
+
+
+def test_detection_sweep_cold_warm_bit_identical(campaign, store):
+    grid = _tiny_detection_grid()
+    baseline = DetectionSweep(campaign).run(grid)
+
+    cold_store = ArtifactStore(store.root)
+    cold = DetectionSweep(campaign, store=cold_store).run(grid)
+    assert cold_store.writes > 0
+
+    warm_store = ArtifactStore(store.root)
+    warm = DetectionSweep(campaign, store=warm_store).run(grid)
+    assert warm_store.hits > 0
+    assert warm_store.misses == 0
+
+    assert cold.to_json() == baseline.to_json()
+    assert warm.to_json() == cold.to_json()
+    for cold_cell, warm_cell in zip(cold.cells, warm.cells):
+        assert np.array_equal(cold_cell.features_db, warm_cell.features_db)
+
+
+def test_localize_sweep_cold_warm_bit_identical(config, campaign, store):
+    grid = LocalizeGrid(
+        name="store-check",
+        cells=(
+            LocalizeCell(
+                trojan="T4", n_records=1, refine=False, scan=False
+            ),
+        ),
+    )
+    baseline = LocalizationSweep(config, campaign=campaign).run(grid)
+
+    cold_store = ArtifactStore(store.root)
+    cold = LocalizationSweep(
+        config, campaign=campaign, store=cold_store
+    ).run(grid)
+    assert cold_store.writes > 0
+
+    warm_store = ArtifactStore(store.root)
+    warm = LocalizationSweep(
+        config, campaign=campaign, store=warm_store
+    ).run(grid)
+    assert warm_store.hits > 0
+    assert warm_store.misses == 0
+
+    assert cold.to_json() == baseline.to_json()
+    assert warm.to_json() == cold.to_json()
+
+
+def test_monitor_session_cold_warm_bit_identical(config, store):
+    def run(session_store):
+        report = build_fleet(
+            "smoke", n_chips=1, config=config, store=session_store
+        ).run()
+        return report.chips[0].report
+
+    baseline = run(None)
+    cold_store = ArtifactStore(store.root)
+    cold = run(cold_store)
+    assert cold_store.writes > 0
+    warm_store = ArtifactStore(store.root)
+    warm = run(warm_store)
+    assert warm_store.hits > 0
+    assert warm_store.misses == 0
+
+    for reference, candidate in ((baseline, cold), (cold, warm)):
+        assert np.array_equal(
+            reference.features_db, candidate.features_db
+        )
+        assert reference.first_alarm == candidate.first_alarm
+        assert list(reference.alarms) == list(candidate.alarms)
+        if reference.identification is None:
+            assert candidate.identification is None
+        else:
+            assert (
+                reference.identification.label
+                == candidate.identification.label
+            )
+        if reference.localization is None:
+            assert candidate.localization is None
+        else:
+            assert reference.localization.position == (
+                candidate.localization.position
+            )
+
+
+# -- CLI surface ----------------------------------------------------------------
+
+
+def test_parser_store_flags():
+    args = build_parser().parse_args(["sweep", "--grid", "smoke"])
+    assert args.store_dir is None
+    assert args.no_store is False
+    args = build_parser().parse_args(
+        ["monitor", "--no-store", "--store-dir", "/tmp/s"]
+    )
+    assert args.no_store is True
+    assert args.store_dir == "/tmp/s"
+
+
+def test_store_cli_stats_gc_clear(tmp_path, capsys, monkeypatch):
+    monkeypatch.setenv("REPRO_STORE_DIR", str(tmp_path / "cli-store"))
+    assert cli_main(["store", "stats"]) == 0
+    out = capsys.readouterr().out
+    assert "entries: 0" in out
+
+    store = ArtifactStore(tmp_path / "cli-store")
+    store.put("record", "a" * 64, {"x": np.ones(4)}, {})
+    assert cli_main(["store", "stats"]) == 0
+    assert "entries: 1" in capsys.readouterr().out
+
+    assert cli_main(["store", "gc", "--max-mb", "0"]) == 0
+    assert "evicted 1 entries" in capsys.readouterr().out
+
+    store.put("record", "b" * 64, {"x": np.ones(4)}, {})
+    assert cli_main(["store", "clear"]) == 0
+    assert "removed 1 entries" in capsys.readouterr().out
+    assert ArtifactStore(tmp_path / "cli-store").stats().entries == 0
+
+
+def test_store_cli_rejects_unknown_action():
+    with pytest.raises(SystemExit):
+        cli_main(["store", "bogus"])
+
+
+def test_env_var_sets_default_root(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_STORE_DIR", str(tmp_path / "env-store"))
+    assert ArtifactStore().root == tmp_path / "env-store"
+    # An explicit directory wins over the environment.
+    assert (
+        ArtifactStore(tmp_path / "explicit").root == tmp_path / "explicit"
+    )

@@ -1,7 +1,5 @@
 """Trojan trigger and payload models."""
 
-import math
-
 import numpy as np
 import pytest
 
