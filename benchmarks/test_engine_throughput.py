@@ -2,11 +2,13 @@
 
 Times a 16-sensor x 256-trace campaign through (a) the seed's
 per-trace render sequence (EMF convolution + noise + amplifier, one
-sensor-trace at a time) and (b) one batched engine render, then checks
-the ``process`` and ``shared`` backends shard a 1024-trace batch
-across two workers with output identical to ``serial``.  Results are
-written to ``BENCH_engine.json`` at the repo root so the performance
-trajectory is tracked from PR to PR.
+sensor-trace at a time) and (b) one batched engine render, then times
+the ``process`` and ``shared`` backend sessions sharding the full
+16-sensor x 1024-trace workload across two workers with output
+identical to ``serial`` (worker count and host core count are recorded
+with each row; parallel-beats-serial is only asserted on multi-core
+hosts).  Results are written to ``BENCH_engine.json`` at the repo root
+so the performance trajectory is tracked from PR to PR.
 
 Set ``ENGINE_SMOKE=1`` to run a reduced CI variant: every equivalence
 check still runs, the speedup floor is not enforced.
@@ -36,8 +38,8 @@ N_TRACES = 48 if SMOKE else 256
 #: Distinct activity records cycled through the campaign (record
 #: synthesis is not part of the rendering path being measured).
 N_UNIQUE_RECORDS = 8 if SMOKE else 32
-#: Trace count of the worker-backend scaling checks (monitor sensor).
-N_PROCESS_TRACES = 256 if SMOKE else 1024
+#: Trace count of the worker-backend scaling checks (full array).
+N_PROCESS_TRACES = 64 if SMOKE else 1024
 
 BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
 
@@ -115,49 +117,48 @@ def test_engine_throughput(ctx, benchmark):
     batched_tps = total_traces / batched_seconds
     speedup = batched_tps / legacy_tps
 
-    # Process backend: a 1024-trace batch on the monitor sensor over
-    # two workers, bit-for-bit identical to the serial backend.
-    monitor_records = [
+    # Parallel backends: the *full 16-sensor workload* at
+    # N_PROCESS_TRACES traces — the scale the fused dispatch plan
+    # feeds them — sharded over the worker pool, bit-for-bit identical
+    # to the serial backend.  Each backend is a long-lived session: one
+    # warm-up render spins the pool / grows the shared arena, then the
+    # steady-state pass is timed (that is the regime every later
+    # dispatch through the session runs in).
+    backend_records = [
         unique[i % N_UNIQUE_RECORDS] for i in range(N_PROCESS_TRACES)
     ]
-    monitor_indices = list(range(N_PROCESS_TRACES))
-    start = time.perf_counter()
-    serial_ref = psa.engine.render(
-        psa.coupling,
-        monitor_records,
-        trace_indices=monitor_indices,
-        receiver_indices=[10],
-    )
-    serial_1024_seconds = time.perf_counter() - start
+    backend_indices = list(range(N_PROCESS_TRACES))
+    workers = 2
+    cpu_count = os.cpu_count() or 1
+
+    def _timed_render(engine):
+        engine.render(
+            psa.coupling, backend_records, trace_indices=backend_indices
+        )
+        start = time.perf_counter()
+        batch = engine.render(
+            psa.coupling, backend_records, trace_indices=backend_indices
+        )
+        return batch, time.perf_counter() - start
+
+    serial_ref, serial_full_seconds = _timed_render(psa.engine)
     process_engine = MeasurementEngine(
-        ctx.config, amplifier=psa.amplifier, backend=ProcessBackend(2)
+        ctx.config, amplifier=psa.amplifier, backend=ProcessBackend(workers)
     )
-    start = time.perf_counter()
-    sharded = process_engine.render(
-        psa.coupling,
-        monitor_records,
-        trace_indices=monitor_indices,
-        receiver_indices=[10],
+    shared_engine = MeasurementEngine(
+        ctx.config,
+        amplifier=psa.amplifier,
+        backend=SharedMemoryBackend(workers),
     )
-    process_1024_seconds = time.perf_counter() - start
+    try:
+        sharded, process_full_seconds = _timed_render(process_engine)
+        shared, shared_full_seconds = _timed_render(shared_engine)
+    finally:
+        process_engine.close()
+        shared_engine.close()
     process_identical = bool(
         np.array_equal(serial_ref.samples, sharded.samples)
     )
-
-    # Shared-memory backend: the same sharded batch with inputs and
-    # rendered shards crossing the worker boundary zero-copy, still
-    # bit-for-bit identical to the serial reference.
-    shared_engine = MeasurementEngine(
-        ctx.config, amplifier=psa.amplifier, backend=SharedMemoryBackend(2)
-    )
-    start = time.perf_counter()
-    shared = shared_engine.render(
-        psa.coupling,
-        monitor_records,
-        trace_indices=monitor_indices,
-        receiver_indices=[10],
-    )
-    shared_1024_seconds = time.perf_counter() - start
     shared_identical = bool(
         np.array_equal(serial_ref.samples, shared.samples)
     )
@@ -181,18 +182,26 @@ def test_engine_throughput(ctx, benchmark):
         "speedup": round(speedup, 2),
         "process_backend": {
             "n_traces": N_PROCESS_TRACES,
-            "n_sensors": 1,
-            "workers": 2,
-            "serial_seconds": round(serial_1024_seconds, 3),
-            "process_seconds": round(process_1024_seconds, 3),
+            "n_sensors": N_SENSORS,
+            "workers": workers,
+            "cpu_count": cpu_count,
+            "serial_seconds": round(serial_full_seconds, 3),
+            "process_seconds": round(process_full_seconds, 3),
+            "speedup_vs_serial": round(
+                serial_full_seconds / process_full_seconds, 3
+            ),
             "identical_to_serial": process_identical,
         },
         "shared_backend": {
             "n_traces": N_PROCESS_TRACES,
-            "n_sensors": 1,
-            "workers": 2,
-            "serial_seconds": round(serial_1024_seconds, 3),
-            "shared_seconds": round(shared_1024_seconds, 3),
+            "n_sensors": N_SENSORS,
+            "workers": workers,
+            "cpu_count": cpu_count,
+            "serial_seconds": round(serial_full_seconds, 3),
+            "shared_seconds": round(shared_full_seconds, 3),
+            "speedup_vs_serial": round(
+                serial_full_seconds / shared_full_seconds, 3
+            ),
             "identical_to_serial": shared_identical,
         },
     }
@@ -205,3 +214,13 @@ def test_engine_throughput(ctx, benchmark):
     assert shared_identical
     if not SMOKE:
         assert speedup >= 5.0, f"batched speedup {speedup:.2f}x below 5x"
+        # The zero-copy backend only has spare cores to win with on a
+        # multi-core host; single-core boxes record the ratio (the CI
+        # gate tracks it against a baseline from the same host class)
+        # but cannot require parallel > serial.
+        if cpu_count >= 2:
+            assert shared_full_seconds < serial_full_seconds, (
+                f"shared backend ({shared_full_seconds:.2f}s) lost to "
+                f"serial ({serial_full_seconds:.2f}s) on a "
+                f"{cpu_count}-core host"
+            )

@@ -65,6 +65,8 @@ N_ACTIVE = 4 if SMOKE else 8
 CHUNK = 4 if SMOKE else 16
 WARMUP = 6
 FLEET_CHIPS = 4
+#: Fleet timing trials; the fastest is reported (box-noise resistant).
+FLEET_ROUNDS = 1 if SMOKE else 5
 
 MONITOR_TUNING = PipelineConfig(
     detector=DetectorConfig(warmup=WARMUP),
@@ -151,30 +153,49 @@ def test_runtime_throughput(ctx, benchmark):
     assert list(report.alarms) == legacy_alarm_union
     assert report.detected
 
-    # Fleet: the same session on four chips, interleaved (records
-    # pre-simulated per member, same as the single-chip paths).
-    specs = [
-        ChipSpec(
-            chip_id=f"chip{i}",
-            trojan=("T1", "T2", "T3", "T4")[i % 4],
-            seed=ctx.config.seed + i,
-            n_baseline=N_BASELINE,
-            n_active=N_ACTIVE,
-            chunk=CHUNK,
-            detector=DetectorConfig(warmup=WARMUP),
-        )
-        for i in range(FLEET_CHIPS)
-    ]
-    monitors = [
-        build_chip_monitor(
-            spec, config=ctx.config, pipeline_config=MONITOR_TUNING
-        )
-        for spec in specs
-    ]
-    for monitor in monitors:
-        monitor.source.warm_records()
-    fleet_report = FleetScheduler(monitors, queue_depth=2).run()
-    assert fleet_report.all_detected
+    # Fleet: the same session on N chips, interleaved (records
+    # pre-simulated per member, same as the single-chip paths).  The
+    # scheduler tick is timed best-of-N (matching the engine bench's
+    # batched row): each trial re-runs the full session, and the
+    # fastest trial is the figure of merit on a shared, noisy box.
+    def _fleet_run(n_chips):
+        specs = [
+            ChipSpec(
+                chip_id=f"chip{i}",
+                trojan=("T1", "T2", "T3", "T4")[i % 4],
+                seed=ctx.config.seed + i,
+                n_baseline=N_BASELINE,
+                n_active=N_ACTIVE,
+                chunk=CHUNK,
+                detector=DetectorConfig(warmup=WARMUP),
+            )
+            for i in range(n_chips)
+        ]
+        monitors = [
+            build_chip_monitor(
+                spec, config=ctx.config, pipeline_config=MONITOR_TUNING
+            )
+            for spec in specs
+        ]
+        for monitor in monitors:
+            monitor.source.warm_records()
+        return FleetScheduler(monitors, queue_depth=2).run()
+
+    def _best_fleet(n_chips):
+        reports = [_fleet_run(n_chips) for _ in range(FLEET_ROUNDS)]
+        for trial in reports:
+            assert trial.all_detected
+        return min(reports, key=lambda trial: trial.wall_seconds)
+
+    fleet_report = _best_fleet(FLEET_CHIPS)
+    single_report = _best_fleet(1)
+    # On one worker thread the scheduler interleaves chips rather than
+    # parallelizing them, so the ideal aggregate windows/sec at four
+    # chips equals the single-chip figure; the ratio measures pure
+    # scheduling overhead (1.0 = free interleaving).
+    scaling_efficiency = (
+        fleet_report.windows_per_sec / single_report.windows_per_sec
+    )
 
     legacy_wps = n_windows / legacy_seconds
     streaming_wps = n_windows / streaming_seconds
@@ -201,9 +222,21 @@ def test_runtime_throughput(ctx, benchmark):
         "fleet": {
             "n_chips": fleet_report.n_chips,
             "total_windows": fleet_report.total_windows,
+            "rounds": FLEET_ROUNDS,
             "seconds": round(fleet_report.wall_seconds, 3),
             "windows_per_sec": round(fleet_report.windows_per_sec, 2),
             "max_queue_len": fleet_report.max_queue_len,
+        },
+        "fleet_single": {
+            "n_chips": single_report.n_chips,
+            "total_windows": single_report.total_windows,
+            "rounds": FLEET_ROUNDS,
+            "seconds": round(single_report.wall_seconds, 3),
+            "windows_per_sec": round(single_report.windows_per_sec, 2),
+        },
+        "fleet_scaling": {
+            "chips": [single_report.n_chips, fleet_report.n_chips],
+            "scaling_efficiency": round(scaling_efficiency, 3),
         },
         "speedup": round(speedup, 2),
     }

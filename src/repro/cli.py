@@ -28,7 +28,8 @@ import sys
 from pathlib import Path
 from typing import Callable, Dict, List, Optional
 
-from .config import BACKEND_NAMES, SimConfig
+from .config import BACKEND_NAMES, PRECISION_NAMES, SimConfig
+from .engine import close_backend_sessions
 from .experiments.context import ExperimentContext
 from .runtime.presets import MONITOR_PRESETS
 from .store import ArtifactStore
@@ -236,6 +237,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker count for the process backend (0 = auto)",
     )
     parser.add_argument(
+        "--precision",
+        choices=PRECISION_NAMES,
+        default="float64",
+        help=(
+            "engine render precision: float64 (bit-exact reference) or "
+            "float32 (fast path, tolerance-pinned; default float64)"
+        ),
+    )
+    parser.add_argument(
         "--grid",
         choices=sorted(GRIDS) + sorted(LOCALIZE_GRIDS),
         default="smoke",
@@ -365,14 +375,24 @@ def main(argv: Optional[List[str]] = None) -> int:
         return store_main(list(argv[1:]))
     args = build_parser().parse_args(argv)
     config = SimConfig().with_(
-        engine_backend=args.backend, engine_workers=args.workers
+        engine_backend=args.backend,
+        engine_workers=args.workers,
+        engine_precision=args.precision,
     )
     ctx = ExperimentContext.build(config)
-    names = sorted(_COMMANDS) if args.experiment == "all" else [args.experiment]
-    for name in names:
-        print(f"=== {name} ===")
-        print(_COMMANDS[name](ctx, args))
-        print()
+    try:
+        names = (
+            sorted(_COMMANDS) if args.experiment == "all" else [args.experiment]
+        )
+        for name in names:
+            print(f"=== {name} ===")
+            print(_COMMANDS[name](ctx, args))
+            print()
+    finally:
+        # Tear down worker pools / shared arenas before returning so
+        # the process exits without leaning on the atexit hook.
+        ctx.close()
+        close_backend_sessions()
     return 0
 
 

@@ -25,6 +25,12 @@ from .units import MHZ
 #: CLI/backends cannot drift apart.
 BACKEND_NAMES = ("serial", "process", "shared")
 
+#: Render output precisions of the measurement engine.  ``float64`` is
+#: the bit-exact reference; ``float32`` is an opt-in fast path (half
+#: the spectrum/sample traffic, single-precision irFFT) pinned to a
+#: tolerance instead of bit-identity.
+PRECISION_NAMES = ("float64", "float32")
+
 
 @dataclass(frozen=True)
 class SimConfig:
@@ -61,6 +67,11 @@ class SimConfig:
     engine_workers:
         Worker count for the ``process``/``shared`` backends
         (0 = auto).
+    engine_precision:
+        Render output precision: ``"float64"`` (bit-exact reference,
+        the default) or ``"float32"`` (opt-in fast path, equivalent to
+        the reference within a pinned tolerance — see
+        ``tests/test_render_plan.py``).
     """
 
     f_clock: float = 33.0 * MHZ
@@ -72,6 +83,7 @@ class SimConfig:
     seed: int = 20240122
     engine_backend: str = "serial"
     engine_workers: int = 0
+    engine_precision: str = "float64"
 
     def __post_init__(self) -> None:
         if self.f_clock <= 0:
@@ -109,6 +121,11 @@ class SimConfig:
         if self.engine_workers < 0:
             raise ConfigError(
                 f"engine_workers must be >= 0, got {self.engine_workers}"
+            )
+        if self.engine_precision not in PRECISION_NAMES:
+            raise ConfigError(
+                f"unknown engine precision {self.engine_precision!r}; "
+                f"choose from {PRECISION_NAMES}"
             )
 
     # -- derived quantities -------------------------------------------------

@@ -87,6 +87,16 @@ class Localizer:
 
     # -- feature helpers ---------------------------------------------------------
 
+    def _mean_amplitudes(self, batch) -> np.ndarray:
+        """Featurize one rendered batch to per-sensor mean amplitudes."""
+        grid, display = self.analyzer.display_matrix(
+            batch.samples.reshape(-1, batch.n_samples), batch.fs
+        )
+        amps = sideband_amplitudes(grid, display, self.psa.config).reshape(
+            self.psa.n_sensors, -1
+        )
+        return amps.mean(axis=1)
+
     def _sensor_amplitudes(
         self, records: Sequence[ActivityRecord], trace_offset: int = 0
     ) -> np.ndarray:
@@ -98,18 +108,46 @@ class Localizer:
         """
         if not records:
             raise AnalysisError("no activity records supplied")
-        config = self.psa.config
         batch = self.psa.render(
             records,
             trace_indices=[trace_offset + i for i in range(len(records))],
         )
-        grid, display = self.analyzer.display_matrix(
-            batch.samples.reshape(-1, batch.n_samples), batch.fs
+        return self._mean_amplitudes(batch)
+
+    def enqueue_score_map(
+        self,
+        plan,
+        baseline_records: Sequence[ActivityRecord],
+        active_records: Sequence[ActivityRecord],
+    ):
+        """Enqueue a score map's renders on a fused dispatch plan.
+
+        The base and active populations share the coupling matrix and
+        the full sensor set, so the plan fuses both (and any other
+        score maps enqueued alongside) into one engine job.  Feed the
+        returned handle to :meth:`finish_score_map` after
+        ``plan.execute()``.
+        """
+        if not baseline_records or not active_records:
+            raise AnalysisError("no activity records supplied")
+        base = self.psa.enqueue(
+            plan,
+            baseline_records,
+            trace_indices=list(range(len(baseline_records))),
         )
-        amps = sideband_amplitudes(grid, display, config).reshape(
-            self.psa.n_sensors, len(records)
+        active = self.psa.enqueue(
+            plan,
+            active_records,
+            trace_indices=[1000 + i for i in range(len(active_records))],
         )
-        return amps.mean(axis=1)
+        return base, active
+
+    def finish_score_map(self, tickets) -> np.ndarray:
+        """Score map from an executed :meth:`enqueue_score_map` handle."""
+        base, active = tickets
+        return self._mean_amplitudes(active.result()) - self._mean_amplitudes(
+            base.result()
+        )
 
     def score_map(
         self,
@@ -123,10 +161,19 @@ class Localizer:
         amplitude.  (A dB-change map would instead favor quiet corner
         sensors that pick up a whiff of the Trojan through the global
         package loop.)
+
+        Both populations render as one fused engine pass (they share
+        the coupling matrix and sensor set); each row is bit-identical
+        to its standalone render.
         """
-        base = self._sensor_amplitudes(baseline_records)
-        active = self._sensor_amplitudes(active_records, trace_offset=1000)
-        return active - base
+        from ...engine import RenderPlan
+
+        plan = RenderPlan()
+        tickets = self.enqueue_score_map(
+            plan, baseline_records, active_records
+        )
+        plan.execute()
+        return self.finish_score_map(tickets)
 
     # -- localization ---------------------------------------------------------------
 
@@ -135,6 +182,7 @@ class Localizer:
         baseline_records: Sequence[ActivityRecord],
         active_records: Sequence[ActivityRecord],
         refine: bool = True,
+        scores: Optional[np.ndarray] = None,
     ) -> LocalizationResult:
         """Run the full localization stage.
 
@@ -145,6 +193,11 @@ class Localizer:
         refine:
             Reprogram the hot sensor into four quadrant coils and
             narrow the estimate to a quadrant center (~170 um).
+        scores:
+            Prefetched score map for these records (from
+            :meth:`enqueue_score_map`/:meth:`finish_score_map` on a
+            fused plan); None computes it here.  Both routes are
+            bit-identical.
 
         Returns
         -------
@@ -152,7 +205,8 @@ class Localizer:
             Hot sensor, score map [V], margin [dB], optional quadrant
             refinement and the position estimate [m].
         """
-        scores = self.score_map(baseline_records, active_records)
+        if scores is None:
+            scores = self.score_map(baseline_records, active_records)
         order = np.argsort(scores)
         hot = int(order[-1])
         runner_up = max(float(scores[order[-2]]), 1e-15)

@@ -114,6 +114,33 @@ def sideband_amplitudes(
     return np.sqrt(0.5 * total)
 
 
+def sideband_display_bins(
+    grid: np.ndarray,
+    config: SimConfig,
+    halfwidth: float = 250e3,
+) -> np.ndarray:
+    """Display bins the sideband features actually read.
+
+    The indices of every grid point within ``halfwidth`` of either
+    prominent sideband.  Feeding exactly these columns (e.g. from
+    ``SpectrumAnalyzer.display_bins``) to :func:`sideband_features_db`
+    is bit-identical to evaluating the full display: the per-frequency
+    masks select the same amplitude columns either way, because the
+    two sidebands are far apart relative to ``halfwidth``.
+    """
+    lower, upper = sideband_frequencies(config)
+    mask = (np.abs(grid - lower) <= halfwidth) | (
+        np.abs(grid - upper) <= halfwidth
+    )
+    bins = np.flatnonzero(mask)
+    if bins.size == 0:
+        raise AnalysisError(
+            f"no display bins within {halfwidth/1e3:.0f} kHz of the "
+            "sideband frequencies"
+        )
+    return bins
+
+
 def sideband_features_db(
     freqs: np.ndarray,
     amps: np.ndarray,
@@ -189,19 +216,51 @@ def added_sideband_scores(
     numpy.ndarray
         One added-amplitude score [V] per coil, in ``coils`` order.
     """
-    config = psa.config
+    from ...engine import RenderPlan
+
+    plan = RenderPlan()
+    ticket = enqueue_added_sideband_scores(
+        plan, psa, coils, baseline_records, active_records, active_offset
+    )
+    plan.execute()
+    return finish_added_sideband_scores(
+        ticket, psa.config, analyzer, len(coils), len(baseline_records)
+    )
+
+
+def enqueue_added_sideband_scores(
+    plan,
+    psa,
+    coils,
+    baseline_records: Sequence,
+    active_records: Sequence,
+    active_offset: int,
+):
+    """Enqueue the render phase of :func:`added_sideband_scores`.
+
+    Returns the plan ticket; after ``plan.execute()``, feed it to
+    :func:`finish_added_sideband_scores`.  Splitting the phases lets
+    many scoring passes (all quadrants of a localization, every window
+    of a scan level, every repeat of a sweep cell) join one fused
+    engine pass.
+    """
     n_base = len(baseline_records)
     records = list(baseline_records) + list(active_records)
     indices = list(range(n_base)) + [
         active_offset + idx for idx in range(len(active_records))
     ]
-    batch = psa.measure_coils_batch(coils, records, trace_indices=indices)
+    return psa.enqueue_coils(plan, coils, records, trace_indices=indices)
+
+
+def finish_added_sideband_scores(
+    ticket, config, analyzer, n_coils: int, n_base: int
+) -> np.ndarray:
+    """Score an executed :func:`enqueue_added_sideband_scores` ticket."""
+    batch = ticket.result()
     grid, display = analyzer.display_matrix(
         batch.samples.reshape(-1, batch.n_samples), batch.fs
     )
-    amps = sideband_amplitudes(grid, display, config).reshape(
-        len(coils), len(records)
-    )
+    amps = sideband_amplitudes(grid, display, config).reshape(n_coils, -1)
     return np.array(
         [float(np.mean(row[n_base:]) - np.mean(row[:n_base])) for row in amps]
     )

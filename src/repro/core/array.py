@@ -149,6 +149,76 @@ class ProgrammableSensorArray:
             receiver_indices=sensors,
         )
 
+    def enqueue(
+        self,
+        plan,
+        records: Sequence[ActivityRecord],
+        trace_indices: Optional[Sequence[int]] = None,
+        sensors: Optional[Sequence[int]] = None,
+        tag: Optional[str] = None,
+    ):
+        """Enqueue a standard-sensor render on a fused dispatch plan.
+
+        Same arguments and validation as :meth:`render`, but the
+        render joins ``plan`` (a :class:`~repro.engine.RenderPlan`)
+        instead of executing immediately; the returned ticket resolves
+        to the identical :class:`TraceBatch` after ``plan.execute()``.
+        """
+        if sensors is not None:
+            for index in sensors:
+                if not 0 <= index < self.n_sensors:
+                    raise MeasurementError(
+                        f"sensor index {index} outside 0..{self.n_sensors - 1}"
+                    )
+        return plan.add(
+            self._coupling,
+            records,
+            trace_indices=trace_indices,
+            receiver_indices=sensors,
+            engine=self.engine,
+            tag=tag,
+        )
+
+    def enqueue_coils(
+        self,
+        plan,
+        coils: Sequence[Coil],
+        records: Sequence[ActivityRecord],
+        trace_indices: Optional[Sequence[int]] = None,
+        tag: Optional[str] = None,
+    ):
+        """Enqueue an ad-hoc multi-coil render on a fused dispatch plan.
+
+        The plan-joining twin of :meth:`measure_coils_batch`: coils are
+        programmed/released (ownership-checked) and their coupling
+        stack built at enqueue time; the render itself happens inside
+        ``plan.execute()``, fused with everything else on the plan.
+        """
+        coils = list(coils)
+        if not coils:
+            raise MeasurementError("no coils to render")
+        names = [coil.name for coil in coils]
+        if len(set(names)) != len(names):
+            duplicate = next(n for n in names if names.count(n) > 1)
+            raise MeasurementError(
+                f"duplicate coil name {duplicate!r} in batched render"
+            )
+        for coil in coils:
+            coil.program(self.grid)
+            coil.release(self.grid)
+        stack = CouplingStack([self._coupling_for(coil) for coil in coils])
+        return plan.add(
+            stack,
+            records,
+            trace_indices=trace_indices,
+            engine=self.engine,
+            tag=tag,
+        )
+
+    def close(self) -> None:
+        """Release the engine's backend resources (see engine.close)."""
+        self.engine.close()
+
     def measure_coil_batch(
         self,
         coil: Coil,

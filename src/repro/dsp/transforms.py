@@ -99,7 +99,8 @@ def amplitude_spectra(
     freqs = np.fft.rfftfreq(n, d=1.0 / fs)
     # Peak amplitude of each component, then to RMS.  The DC and Nyquist
     # bins are not doubled.
-    amps = np.abs(spec) / n
+    amps = np.abs(spec)
+    amps /= n
     if n % 2 == 0:
         amps[:, 1:-1] *= 2.0
     else:
@@ -148,6 +149,200 @@ def resample_spectrum(
     return Spectrum(freqs=grid, amps=amps[0])
 
 
+class _ResamplePlan:
+    """Precomputed display-grid geometry for one native frequency axis.
+
+    The per-call work of :func:`resample_spectra` splits into geometry
+    (bucket assignment, interpolation knots — a function of the
+    frequency axis and the display band only) and per-row arithmetic.
+    The geometry is cached across calls keyed by the axis/band
+    content, which removes the dominant cost of steady-state display
+    passes (the same sampling grid is featurized thousands of times in
+    a sweep or a fleet run).
+
+    The applied arithmetic is **bit-identical** to the reference
+    per-row ``np.interp`` + ``np.maximum.at`` formulation:
+
+    * interpolation evaluates ``slope*(g - x_lo) + y_lo`` with the
+      same operand order as NumPy's scalar kernel (exact at knot hits
+      because ``searchsorted(side="right") - 1`` always lands an exact
+      hit on its *left* knot, where the residual is exactly zero);
+    * peak detection exploits that buckets of an ascending axis are
+      nondecreasing, so each bucket is one contiguous run and
+      ``np.maximum.reduceat`` over run starts computes the exact same
+      float maxima as element-wise ``np.maximum.at``.
+    """
+
+    __slots__ = (
+        "freqs", "grid", "below", "above", "inside", "idx", "x_lo",
+        "dx", "offsets", "in_band", "run_starts", "run_buckets",
+    )
+
+    def __init__(
+        self, freqs: np.ndarray, f_lo: float, f_hi: float, n_points: int
+    ):
+        self.freqs = np.array(freqs, dtype=float, copy=True)
+        self.freqs.setflags(write=False)
+        freqs = self.freqs
+        grid = np.linspace(f_lo, f_hi, n_points)
+        self.grid = grid
+        # Both axes are ascending, so every region is one contiguous
+        # run — store slices, not boolean masks: the per-row gathers
+        # and scatters in :meth:`apply` become view operations.
+        n_below = int(np.count_nonzero(grid < freqs[0]))
+        n_above = int(np.count_nonzero(grid >= freqs[-1]))
+        self.below = slice(0, n_below)
+        self.above = slice(n_points - n_above, n_points)
+        self.inside = slice(n_below, n_points - n_above)
+        g_in = grid[self.inside]
+        idx = np.searchsorted(freqs, g_in, side="right") - 1
+        self.idx = np.clip(idx, 0, len(freqs) - 2)
+        self.x_lo = freqs[self.idx]
+        self.dx = freqs[self.idx + 1] - self.x_lo
+        self.offsets = g_in - self.x_lo
+        spacing = (f_hi - f_lo) / (n_points - 1)
+        band_mask = (freqs >= f_lo - spacing / 2) & (
+            freqs <= f_hi + spacing / 2
+        )
+        band_indices = np.flatnonzero(band_mask)
+        if band_indices.size:
+            self.in_band = slice(
+                int(band_indices[0]), int(band_indices[-1]) + 1
+            )
+        else:
+            self.in_band = slice(0, 0)
+        buckets = np.clip(
+            np.round((freqs[self.in_band] - f_lo) / spacing).astype(int),
+            0,
+            n_points - 1,
+        )
+        if buckets.size:
+            starts = np.flatnonzero(
+                np.r_[True, buckets[1:] != buckets[:-1]]
+            )
+            self.run_starts = starts
+            self.run_buckets = buckets[starts]
+        else:
+            self.run_starts = None
+            self.run_buckets = None
+
+    def apply(self, native_power: np.ndarray) -> np.ndarray:
+        """Resample a power stack onto the display grid (peak-held).
+
+        Two gathers, then every pass runs in place — the arithmetic
+        (``slope*(g - x_lo) + y_lo`` with slope ``(y_hi - y_lo)/dx``)
+        is the reference formulation operation for operation.
+        """
+        n_rows = native_power.shape[0]
+        power = np.empty((n_rows, self.grid.size))
+        y_lo = native_power[:, self.idx]
+        interp = native_power[:, self.idx + 1]
+        np.subtract(interp, y_lo, out=interp)
+        np.divide(interp, self.dx, out=interp)
+        np.multiply(interp, self.offsets, out=interp)
+        np.add(interp, y_lo, out=power[:, self.inside])
+        power[:, self.below] = native_power[:, :1]
+        power[:, self.above] = native_power[:, -1:]
+        if self.run_starts is not None:
+            run_max = np.maximum.reduceat(
+                native_power[:, self.in_band], self.run_starts, axis=1
+            )
+            np.maximum(power[:, self.run_buckets], run_max, out=run_max)
+            power[:, self.run_buckets] = run_max
+        return power
+
+    def apply_at(
+        self, native_power: np.ndarray, bins: np.ndarray
+    ) -> np.ndarray:
+        """Resample only the display columns ``bins`` (sorted indices).
+
+        Every display point's value is a function of its own knots and
+        its own peak-hold run, so evaluating a subset reproduces
+        :meth:`apply`'s columns **bit for bit** at a fraction of the
+        work — the fast path for feature extraction that reads a few
+        sideband bins out of a 2000-point display.
+        """
+        n_rows = native_power.shape[0]
+        power = np.empty((n_rows, len(bins)))
+        lo, hi = self.inside.start, self.inside.stop
+        for col, b in enumerate(bins):
+            if b < lo:
+                power[:, col] = native_power[:, 0]
+            elif b >= hi:
+                power[:, col] = native_power[:, -1]
+            else:
+                j = b - lo
+                idx = self.idx[j]
+                y_lo = native_power[:, idx]
+                column = native_power[:, idx + 1] - y_lo
+                column /= self.dx[j]
+                column *= self.offsets[j]
+                column += y_lo
+                power[:, col] = column
+        if self.run_buckets is not None:
+            band = native_power[:, self.in_band]
+            n_runs = len(self.run_starts)
+            band_stop = band.shape[1]
+            positions = np.searchsorted(self.run_buckets, bins)
+            for col, b in enumerate(bins):
+                run = positions[col]
+                if run >= n_runs or self.run_buckets[run] != b:
+                    continue
+                start = self.run_starts[run]
+                stop = (
+                    self.run_starts[run + 1]
+                    if run + 1 < n_runs
+                    else band_stop
+                )
+                np.maximum(
+                    power[:, col],
+                    band[:, start:stop].max(axis=1),
+                    out=power[:, col],
+                )
+        return power
+
+
+#: Cached resample geometries keyed by display band + axis content
+#: summary (full axis equality is verified on every hit).
+_RESAMPLE_PLANS: "dict[tuple, _ResamplePlan]" = {}
+_RESAMPLE_PLAN_LIMIT = 8
+_RESAMPLE_PLAN_HITS = 0
+_RESAMPLE_PLAN_MISSES = 0
+
+
+def resample_plan_stats() -> "dict[str, int]":
+    """Resample-plan cache counters: ``hits``, ``misses``, ``size``."""
+    return {
+        "hits": _RESAMPLE_PLAN_HITS,
+        "misses": _RESAMPLE_PLAN_MISSES,
+        "size": len(_RESAMPLE_PLANS),
+    }
+
+
+def _resample_plan(
+    freqs: np.ndarray, f_lo: float, f_hi: float, n_points: int
+) -> _ResamplePlan:
+    global _RESAMPLE_PLAN_HITS, _RESAMPLE_PLAN_MISSES
+    key = (
+        n_points,
+        float(f_lo),
+        float(f_hi),
+        len(freqs),
+        float(freqs[0]),
+        float(freqs[-1]),
+    )
+    plan = _RESAMPLE_PLANS.get(key)
+    if plan is not None and np.array_equal(plan.freqs, freqs):
+        _RESAMPLE_PLAN_HITS += 1
+        return plan
+    _RESAMPLE_PLAN_MISSES += 1
+    plan = _ResamplePlan(freqs, f_lo, f_hi, n_points)
+    if len(_RESAMPLE_PLANS) >= _RESAMPLE_PLAN_LIMIT:
+        _RESAMPLE_PLANS.clear()
+    _RESAMPLE_PLANS[key] = plan
+    return plan
+
+
 def resample_spectra(
     freqs: np.ndarray,
     amps: np.ndarray,
@@ -158,9 +353,11 @@ def resample_spectra(
     """Batched :func:`resample_spectrum` over an amplitude stack.
 
     ``amps`` is ``(n_spectra, n_bins)`` sharing one native frequency
-    axis; the display grid, bucket assignment and in-band mask are
-    computed once for the whole stack.  Returns ``(grid, out)`` with
-    ``out`` of shape ``(n_spectra, n_points)``.
+    axis; the display grid, bucket assignment and in-band mask come
+    from a plan cached across calls (see :class:`_ResamplePlan` — the
+    applied arithmetic is bit-identical to the per-row reference).
+    Returns ``(grid, out)`` with ``out`` of shape
+    ``(n_spectra, n_points)``.
     """
     if f_hi <= f_lo:
         raise AnalysisError(f"empty band [{f_lo}, {f_hi}]")
@@ -174,23 +371,50 @@ def resample_spectra(
     amps = np.asarray(amps, dtype=float)
     if amps.ndim != 2:
         raise AnalysisError("resample_spectra expects a 2-D amplitude stack")
-    grid = np.linspace(f_lo, f_hi, n_points)
-    native_power = amps**2
-    power = np.empty((amps.shape[0], n_points))
-    for index, row in enumerate(native_power):
-        power[index] = np.interp(grid, freqs, row)
-    # Positive-peak detection: assign every native bin to its nearest
-    # display bucket and keep the bucket maximum.
-    spacing = (f_hi - f_lo) / (n_points - 1)
-    in_band = (freqs >= f_lo - spacing / 2) & (freqs <= f_hi + spacing / 2)
-    buckets = np.clip(
-        np.round((freqs[in_band] - f_lo) / spacing).astype(int),
-        0,
-        n_points - 1,
-    )
-    rows = np.arange(amps.shape[0])[:, None]
-    np.maximum.at(power, (rows, buckets[None, :]), native_power[:, in_band])
-    return grid, np.sqrt(power)
+    plan = _resample_plan(np.asarray(freqs, dtype=float), f_lo, f_hi, n_points)
+    power = plan.apply(amps**2)
+    np.sqrt(power, out=power)
+    return plan.grid, power
+
+
+def resample_spectra_at(
+    freqs: np.ndarray,
+    amps: np.ndarray,
+    bins: np.ndarray,
+    f_lo: float = 0.0,
+    f_hi: float = 120e6,
+    n_points: int = 2000,
+) -> "tuple[np.ndarray, np.ndarray]":
+    """:func:`resample_spectra` restricted to display columns ``bins``.
+
+    Returns ``(grid[bins], out[:, bins])`` with values bit-identical
+    to the full resample's columns (see :meth:`_ResamplePlan.apply_at`)
+    while touching only those display points — the fast path when a
+    caller reads a handful of feature bins out of the display.
+    """
+    if f_hi <= f_lo:
+        raise AnalysisError(f"empty band [{f_lo}, {f_hi}]")
+    if n_points < 2:
+        raise AnalysisError("display grid needs at least two points")
+    if f_hi > freqs[-1] * (1 + 1e-9):
+        raise AnalysisError(
+            f"band edge {f_hi/1e6:.1f} MHz beyond Nyquist "
+            f"{freqs[-1]/1e6:.1f} MHz"
+        )
+    amps = np.asarray(amps, dtype=float)
+    if amps.ndim != 2:
+        raise AnalysisError("resample_spectra expects a 2-D amplitude stack")
+    bins = np.asarray(bins, dtype=int)
+    if bins.ndim != 1 or bins.size == 0:
+        raise AnalysisError("bins must be a non-empty 1-D index array")
+    if bins.min() < 0 or bins.max() >= n_points:
+        raise AnalysisError(
+            f"display bins outside 0..{n_points - 1}"
+        )
+    plan = _resample_plan(np.asarray(freqs, dtype=float), f_lo, f_hi, n_points)
+    power = plan.apply_at(amps**2, bins)
+    np.sqrt(power, out=power)
+    return plan.grid[bins], power
 
 
 def band_slice(spectrum: Spectrum, f_lo: float, f_hi: float) -> Spectrum:

@@ -477,23 +477,40 @@ def _convolve_train(train: np.ndarray, kernel: np.ndarray) -> np.ndarray:
 #: rFFT of the circularly-padded EMF kernel per configuration, keyed by
 #: the config fields the kernel depends on.
 _KERNEL_SPECTRUM_CACHE: Dict[Tuple[float, int, int], np.ndarray] = {}
+_KERNEL_SPECTRUM_HITS = 0
+_KERNEL_SPECTRUM_MISSES = 0
 
 
 def kernel_spectrum(config: SimConfig) -> np.ndarray:
     """rFFT of the EMF kernel zero-padded to the trace length.
 
-    Cached per (clock, oversample, trace length); read-only.
+    Cached per (clock, oversample, trace length); read-only.  The
+    cache persists across render dispatches (and engines), so the
+    kernel transform is paid once per sampling grid per process.
     """
+    global _KERNEL_SPECTRUM_HITS, _KERNEL_SPECTRUM_MISSES
     key = (config.f_clock, config.oversample, config.n_samples)
     spectrum = _KERNEL_SPECTRUM_CACHE.get(key)
     if spectrum is None:
+        _KERNEL_SPECTRUM_MISSES += 1
         kernel = emf_kernel(config)
         padded = np.zeros(config.n_samples)
         padded[: kernel.size] = kernel
         spectrum = np.fft.rfft(padded)
         spectrum.setflags(write=False)
         _KERNEL_SPECTRUM_CACHE[key] = spectrum
+    else:
+        _KERNEL_SPECTRUM_HITS += 1
     return spectrum
+
+
+def kernel_spectrum_stats() -> Dict[str, int]:
+    """Kernel-spectrum cache counters: ``hits``, ``misses``, ``size``."""
+    return {
+        "hits": _KERNEL_SPECTRUM_HITS,
+        "misses": _KERNEL_SPECTRUM_MISSES,
+        "size": len(_KERNEL_SPECTRUM_CACHE),
+    }
 
 
 #: Cached offset phase ramps (tiny, per sampling grid).
@@ -527,8 +544,14 @@ def _tiled_cycle_spectrum(
     n_bins = n_samples // 2 + 1
     n_cycles = config.n_cycles
     cycle_spectrum = np.fft.fft(amplitudes, axis=-1)
-    repeats = -(-n_bins // n_cycles)
-    tiled = np.tile(cycle_spectrum, (1, repeats))[:, :n_bins]
+    # Tile directly into an n_bins-wide buffer instead of np.tile's
+    # oversized intermediate (values identical, one copy less).
+    tiled = np.empty(
+        (cycle_spectrum.shape[0], n_bins), dtype=cycle_spectrum.dtype
+    )
+    for lo in range(0, n_bins, n_cycles):
+        width = min(n_cycles, n_bins - lo)
+        tiled[:, lo : lo + width] = cycle_spectrum[:, :width]
     if sample_offset:
         tiled *= _phase_ramp(n_samples, sample_offset)
     return tiled

@@ -187,12 +187,12 @@ def fill_white_noise_spectrum(
         body = n_bins - 2
         out.real[-1] = z[1] * nyquist_scale
         out.imag[-1] = 0.0
-        out.real[1:-1] = z[2 : 2 + body] * body_scale
-        out.imag[1:-1] = z[2 + body :] * body_scale
+        np.multiply(z[2 : 2 + body], body_scale, out=out.real[1:-1])
+        np.multiply(z[2 + body :], body_scale, out=out.imag[1:-1])
     else:
         body = n_bins - 1
-        out.real[1:] = z[1 : 1 + body] * body_scale
-        out.imag[1:] = z[1 + body :] * body_scale
+        np.multiply(z[1 : 1 + body], body_scale, out=out.real[1:])
+        np.multiply(z[1 + body :], body_scale, out=out.imag[1:])
     return out
 
 

@@ -7,6 +7,9 @@ analyzed voltage trace routes through here:
   (spectral synthesis, folded noise, one irFFT per trace);
 * :class:`TraceBatch` — the ``(n_receivers, n_traces, n_samples)``
   result container with lazy per-trace conversion;
+* :class:`RenderPlan` — the fused dispatch layer: enqueue many
+  logical renders (sweep cells, fleet chips, scan levels) and execute
+  them as one mega-batched engine pass, demultiplexed bit-identically;
 * :mod:`~repro.engine.backends` / :mod:`~repro.engine.shm` —
   pluggable execution backends (``serial`` reference, ``process``
   worker pool, ``shared`` zero-copy shared-memory pool), selectable
@@ -24,6 +27,7 @@ from .backends import (
     ExecutionBackend,
     ProcessBackend,
     SerialBackend,
+    close_backend_sessions,
     resolve_backend,
 )
 from .batch import TraceBatch
@@ -31,8 +35,10 @@ from .cache import (
     clear_coupling_cache,
     coupling_cache_stats,
     coupling_geometry_key,
+    kernel_spectrum_stats,
 )
 from .engine import MeasurementEngine, ReceiverPlan, render_stream_name
+from .plan import RenderPlan, RenderTicket
 from .shm import SharedMemoryBackend
 
 __all__ = [
@@ -41,12 +47,16 @@ __all__ = [
     "ProcessBackend",
     "SerialBackend",
     "SharedMemoryBackend",
+    "close_backend_sessions",
     "resolve_backend",
     "TraceBatch",
     "clear_coupling_cache",
     "coupling_cache_stats",
     "coupling_geometry_key",
+    "kernel_spectrum_stats",
     "MeasurementEngine",
     "ReceiverPlan",
+    "RenderPlan",
+    "RenderTicket",
     "render_stream_name",
 ]

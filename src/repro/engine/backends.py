@@ -7,14 +7,33 @@ fans shards out over a worker pool.  Because every random draw in the
 render path comes from a stream named by (scenario, receiver, trace
 index), sharding never changes the rendered samples — the backends
 are interchangeable bit-for-bit.
+
+Backends are **long-lived session objects**: resolving a backend by
+name returns a process-wide session shared by every engine that asked
+for the same spec, so the worker pool (and, for ``shared``, the input
+arena) persists across dispatches instead of being rebuilt per render.
+``close()`` releases the resources; the next dispatch transparently
+restarts them.  :func:`close_backend_sessions` tears every session
+down (the CLI calls it on exit, and an ``atexit`` hook covers
+everything else).
 """
 
 from __future__ import annotations
 
+import atexit
 import multiprocessing
 import os
 from concurrent.futures import ProcessPoolExecutor
-from typing import Callable, List, Protocol, Sequence, TypeVar, runtime_checkable
+from typing import (
+    Callable,
+    Dict,
+    List,
+    Protocol,
+    Sequence,
+    Tuple,
+    TypeVar,
+    runtime_checkable,
+)
 
 from ..config import BACKEND_NAMES
 from ..errors import ConfigError
@@ -57,29 +76,47 @@ class SerialBackend:
         """Evaluate ``fn`` over payloads in order, in-process."""
         return [fn(payload) for payload in payloads]
 
+    def close(self) -> None:
+        """Nothing to release (uniform lifecycle hook)."""
+
 
 class ProcessBackend:
     """Worker-pool backend sharding renders across processes.
 
     The pool is created lazily on first use and reused for every
     subsequent render (spawn-based platforms pay worker start-up only
-    once); :meth:`close` tears it down explicitly, and Python's
-    executor machinery joins any remaining workers at interpreter
-    exit.
+    once); :meth:`close` tears it down explicitly — a later dispatch
+    transparently restarts it — and Python's executor machinery joins
+    any remaining workers at interpreter exit.
 
     Parameters
     ----------
     max_workers:
         Pool size (default: the machine's CPU count, minimum 2 so the
         sharding path is exercised even on single-core hosts).
+    start_method:
+        Worker start method (``"fork"`` / ``"spawn"`` / ...).  None
+        prefers ``fork`` (cheap start-up, inherits sys.path) and falls
+        back to the platform default where fork is missing.
     """
 
     name = "process"
 
-    def __init__(self, max_workers: int | None = None):
+    def __init__(
+        self,
+        max_workers: int | None = None,
+        start_method: str | None = None,
+    ):
         if max_workers is not None and max_workers < 1:
             raise ConfigError(f"max_workers must be >= 1, got {max_workers}")
+        methods = multiprocessing.get_all_start_methods()
+        if start_method is not None and start_method not in methods:
+            raise ConfigError(
+                f"unknown start method {start_method!r}; "
+                f"choose from {tuple(methods)}"
+            )
         self.max_workers = max_workers or max(os.cpu_count() or 1, 2)
+        self.start_method = start_method
         self._executor: ProcessPoolExecutor | None = None
 
     @property
@@ -89,12 +126,11 @@ class ProcessBackend:
 
     def _pool(self) -> ProcessPoolExecutor:
         if self._executor is None:
-            # Fork keeps worker start-up cheap and inherits sys.path;
-            # fall back to the platform default where fork is missing.
-            methods = multiprocessing.get_all_start_methods()
-            context = multiprocessing.get_context(
-                "fork" if "fork" in methods else None
-            )
+            method = self.start_method
+            if method is None:
+                methods = multiprocessing.get_all_start_methods()
+                method = "fork" if "fork" in methods else None
+            context = multiprocessing.get_context(method)
             self._executor = ProcessPoolExecutor(
                 max_workers=self.max_workers, mp_context=context
             )
@@ -115,11 +151,34 @@ class ProcessBackend:
         return list(self._pool().map(fn, payloads))
 
 
+#: Process-wide backend sessions, one per resolved (name, workers)
+#: spec.  Engines resolving the same spec share the same pool (and
+#: shared-memory arena), which is what lets a fleet of chips — each
+#: with its own engine — amortize one worker pool across every
+#: dispatch.
+_SESSIONS: Dict[Tuple[str, int], "ExecutionBackend"] = {}
+
+
+def close_backend_sessions() -> None:
+    """Close every process-wide backend session.
+
+    Sessions stay registered: the next render through them lazily
+    restarts their pool/arena, so this is always safe to call.
+    """
+    for backend in _SESSIONS.values():
+        close = getattr(backend, "close", None)
+        if close is not None:
+            close()
+
+
+atexit.register(close_backend_sessions)
+
+
 def resolve_backend(
     backend: "str | ExecutionBackend | None",
     workers: int = 0,
 ) -> ExecutionBackend:
-    """Turn a config/CLI backend spec into a backend instance.
+    """Turn a config/CLI backend spec into a backend session.
 
     Parameters
     ----------
@@ -133,7 +192,10 @@ def resolve_backend(
     Returns
     -------
     ExecutionBackend
-        The resolved backend.
+        The resolved backend.  Named specs resolve to process-wide
+        sessions: every engine asking for the same (name, workers)
+        gets the *same* long-lived instance, so pools and shared
+        arenas persist across dispatches and across engines.
 
     Raises
     ------
@@ -144,16 +206,22 @@ def resolve_backend(
         return SerialBackend()
     if not isinstance(backend, str):
         return backend
-    if backend == "serial":
-        return SerialBackend()
-    if backend == "process":
-        return ProcessBackend(max_workers=workers or None)
-    if backend == "shared":
-        # In-function import: shm subclasses ProcessBackend from this
-        # module, so a top-level import would be circular.
-        from .shm import SharedMemoryBackend
+    if backend not in BACKEND_NAMES:
+        raise ConfigError(
+            f"unknown engine backend {backend!r}; choose from {BACKEND_NAMES}"
+        )
+    key = (backend, int(workers))
+    session = _SESSIONS.get(key)
+    if session is None:
+        if backend == "serial":
+            session = SerialBackend()
+        elif backend == "process":
+            session = ProcessBackend(max_workers=workers or None)
+        else:
+            # In-function import: shm subclasses ProcessBackend from
+            # this module, so a top-level import would be circular.
+            from .shm import SharedMemoryBackend
 
-        return SharedMemoryBackend(max_workers=workers or None)
-    raise ConfigError(
-        f"unknown engine backend {backend!r}; choose from {BACKEND_NAMES}"
-    )
+            session = SharedMemoryBackend(max_workers=workers or None)
+        _SESSIONS[key] = session
+    return session

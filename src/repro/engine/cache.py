@@ -14,10 +14,12 @@ from ..em.coupling import (
     clear_coupling_cache,
     coupling_cache_stats,
     coupling_geometry_key,
+    kernel_spectrum_stats,
 )
 
 __all__ = [
     "clear_coupling_cache",
     "coupling_cache_stats",
     "coupling_geometry_key",
+    "kernel_spectrum_stats",
 ]

@@ -20,6 +20,12 @@ in the frequency domain and inverse-transformed once per trace:
 3. **Band shaping** — the amplifier's cached gain curve multiplies the
    assembled spectra; one batched irFFT produces the final samples.
 
+Per-receiver constants (the :class:`ReceiverPlan`, white-noise scales
+and tone lines) are memoized across render calls in a content-keyed
+**capture-plan cache**, so steady-state dispatches skip the planning
+arithmetic entirely; :meth:`MeasurementEngine.plan_cache_stats`
+exposes the hit counters.
+
 Determinism contract
 --------------------
 Every random draw for capture ``(receiver, trace_index)`` comes from
@@ -27,9 +33,12 @@ the stream ``render/{scenario}/{receiver}/{trace_index}`` of the config
 seed, with a fixed draw order (optional gain-jitter scalar, then the
 white spectrum, then one phase per ambient tone).  Rendering is
 therefore bit-for-bit independent of batch composition: a trace comes
-out identical whether rendered alone, inside any batch, through
-``measure``/``measure_all`` compatibility wrappers, or on any
-execution backend / worker count.
+out identical whether rendered alone, inside any batch, fused with
+unrelated renders through a :class:`~repro.engine.plan.RenderPlan`,
+through ``measure``/``measure_all`` compatibility wrappers, or on any
+execution backend / worker count.  The opt-in ``float32`` precision
+relaxes this to a pinned tolerance (draw *order* and stream identities
+are unchanged — only the accumulation/output dtype narrows).
 """
 
 from __future__ import annotations
@@ -42,7 +51,7 @@ import numpy as np
 from scipy import fft as scipy_fft
 
 from ..chip.power import ActivityRecord
-from ..config import SimConfig
+from ..config import PRECISION_NAMES, SimConfig
 from ..em.amplifier import MeasurementAmplifier
 from ..em.coupling import CouplingMatrix, CouplingStack, Receiver, emf_rfft
 from ..em.noise import (
@@ -61,6 +70,11 @@ from .batch import TraceBatch
 #: Traces converted from spectrum to time per irFFT call; keeps the
 #: complex scratch cache-resident while amortizing irFFT call overhead.
 DEFAULT_CHUNK_TRACES = 16
+
+#: Entries kept in the per-engine capture-plan cache before it resets.
+#: Receiver populations are small (an array plus programmed scan
+#: coils); the cap only guards against pathological name churn.
+_PLAN_CACHE_LIMIT = 512
 
 
 def render_stream_name(scenario: str, receiver: str, trace_index: int) -> str:
@@ -135,12 +149,20 @@ class MeasurementEngine:
         Measurement front-end shared by every rendered channel.
     backend:
         Execution backend: an instance, a name (``"serial"`` /
-        ``"process"``), or None to follow ``config.engine_backend``.
+        ``"process"`` / ``"shared"``), or None to follow
+        ``config.engine_backend``.  Named specs resolve to process-wide
+        sessions shared across engines (see
+        :func:`repro.engine.backends.resolve_backend`).
     workers:
-        Worker count for the process backend (0 = follow
+        Worker count for the pool backends (0 = follow
         ``config.engine_workers``, which defaults to the CPU count).
     chunk_traces:
         Traces per irFFT chunk (memory/throughput trade-off).
+    precision:
+        Render output precision: ``"float64"`` (bit-exact reference)
+        or ``"float32"`` (opt-in fast path; identical RNG streams and
+        draw order, narrowed accumulation/output dtype).  None follows
+        ``config.engine_precision``.
     """
 
     def __init__(
@@ -150,6 +172,7 @@ class MeasurementEngine:
         backend: "str | ExecutionBackend | None" = None,
         workers: int = 0,
         chunk_traces: int = DEFAULT_CHUNK_TRACES,
+        precision: Optional[str] = None,
     ):
         if chunk_traces < 1:
             raise MeasurementError("chunk_traces must be >= 1")
@@ -161,12 +184,61 @@ class MeasurementEngine:
             workers = config.engine_workers
         self.backend = resolve_backend(backend, workers)
         self.chunk_traces = chunk_traces
+        if precision is None:
+            precision = config.engine_precision
+        if precision not in PRECISION_NAMES:
+            raise MeasurementError(
+                f"unknown engine precision {precision!r}; "
+                f"choose from {PRECISION_NAMES}"
+            )
+        self.precision = precision
+        self._plan_cache: Dict[tuple, tuple] = {}
+        self._plan_cache_hits = 0
+        self._plan_cache_misses = 0
+
+    @property
+    def out_dtype(self) -> np.dtype:
+        """Sample dtype of rendered batches."""
+        return np.dtype(
+            np.float32 if self.precision == "float32" else np.float64
+        )
+
+    @property
+    def _complex_dtype(self) -> np.dtype:
+        return np.dtype(
+            np.complex64 if self.precision == "float32" else np.complex128
+        )
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        """Release backend resources (pool, shared arena) and memos.
+
+        Safe to call repeatedly; the next render transparently
+        restarts whatever it needs.  Note that named backends are
+        process-wide sessions — closing one engine closes the shared
+        session, and the next dispatch from *any* engine restarts it.
+        """
+        close = getattr(self.backend, "close", None)
+        if close is not None:
+            close()
+        self._plan_cache.clear()
+
+    def __enter__(self) -> "MeasurementEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # -- pickling (workers render their shards serially) ---------------------
 
     def __getstate__(self) -> dict:
         state = self.__dict__.copy()
         state["backend"] = SerialBackend()
+        # Workers rebuild their own plan memo (cheap, content-keyed).
+        state["_plan_cache"] = {}
+        state["_plan_cache_hits"] = 0
+        state["_plan_cache_misses"] = 0
         return state
 
     # -- planning ------------------------------------------------------------
@@ -197,6 +269,56 @@ class MeasurementEngine:
             n_turns=len(receiver.turns),
         )
 
+    def _capture_plan(self, receiver: Receiver) -> tuple:
+        """Per-receiver render constants, memoized across dispatches.
+
+        Returns ``(plan, noise_scales, tone_plan)`` where the scales
+        and tone lines already fold in the amplifier gain curve.  The
+        cache key is the receiver *content* that feeds the planning
+        arithmetic (everything else — config, amplifier, sampling grid
+        — is fixed per engine), so programmed coils that share a name
+        but differ in geometry still hit when their electrical
+        parameters match: the plan depends on nothing else.
+        """
+        key = (
+            receiver.name,
+            receiver.r_series,
+            receiver.ambient_gain,
+            receiver.gain_jitter,
+            len(receiver.turns),
+        )
+        cached = self._plan_cache.get(key)
+        if cached is not None:
+            self._plan_cache_hits += 1
+            return cached
+        self._plan_cache_misses += 1
+        config = self.config
+        n = config.n_samples
+        fs = config.fs
+        plan = self._plan(receiver)
+        gain = self.amplifier.gain_curve(fs, n)
+        scales = white_noise_scales(n, plan.white_rms_eff, bin_gain=gain)
+        tone_plan = []
+        for freq, amplitude in plan.tones:
+            bin_index = tone_bin(n, fs, freq)
+            if bin_index is not None:
+                tone_plan.append((bin_index, amplitude * gain[bin_index]))
+            else:
+                tone_plan.append((None, (freq, amplitude)))
+        entry = (plan, scales, tuple(tone_plan))
+        if len(self._plan_cache) >= _PLAN_CACHE_LIMIT:
+            self._plan_cache.clear()
+        self._plan_cache[key] = entry
+        return entry
+
+    def plan_cache_stats(self) -> Dict[str, int]:
+        """Capture-plan cache counters: ``hits``, ``misses``, ``size``."""
+        return {
+            "hits": self._plan_cache_hits,
+            "misses": self._plan_cache_misses,
+            "size": len(self._plan_cache),
+        }
+
     # -- rendering -----------------------------------------------------------
 
     def render(
@@ -207,6 +329,11 @@ class MeasurementEngine:
         receiver_indices: Optional[Sequence[int]] = None,
     ) -> TraceBatch:
         """Render a batch of captures into a :class:`TraceBatch`.
+
+        A convenience wrapper over a single-request
+        :class:`~repro.engine.plan.RenderPlan`, so standalone renders
+        and fused mega-batches go through the exact same dispatch
+        layer (and are bit-identical by construction).
 
         Parameters
         ----------
@@ -230,6 +357,27 @@ class MeasurementEngine:
             ``(n_receivers, n_traces, n_samples)`` voltage samples plus
             per-receiver/per-capture metadata.
         """
+        from .plan import RenderPlan
+
+        plan = RenderPlan()
+        ticket = plan.add(
+            coupling,
+            records,
+            trace_indices=trace_indices,
+            receiver_indices=receiver_indices,
+            engine=self,
+        )
+        plan.execute()
+        return ticket.result()
+
+    def _normalize(
+        self,
+        coupling: "CouplingMatrix | CouplingStack",
+        records: Sequence[ActivityRecord],
+        trace_indices: Optional[Sequence[int]],
+        receiver_indices: Optional[Sequence[int]],
+    ) -> Tuple[List[ActivityRecord], List[int], List[int]]:
+        """Validate and expand one render request's arguments."""
         records = list(records)
         if not records:
             raise MeasurementError("no records to render")
@@ -258,11 +406,21 @@ class MeasurementEngine:
                 raise MeasurementError(
                     f"receiver index {index} outside the coupling matrix"
                 )
+        return records, trace_indices, receiver_indices
 
-        samples = self._dispatch(
-            coupling, records, trace_indices, receiver_indices
-        )
-        plans = [self._plan(coupling.receivers[i]) for i in receiver_indices]
+    def _finalize(
+        self,
+        samples: np.ndarray,
+        coupling: "CouplingMatrix | CouplingStack",
+        records: List[ActivityRecord],
+        trace_indices: List[int],
+        receiver_indices: List[int],
+    ) -> TraceBatch:
+        """Wrap rendered samples with their capture metadata."""
+        plans = [
+            self._capture_plan(coupling.receivers[i])[0]
+            for i in receiver_indices
+        ]
         return TraceBatch(
             samples=samples,
             fs=self.config.fs,
@@ -275,20 +433,24 @@ class MeasurementEngine:
             ),
         )
 
-    def _dispatch(
+    def _shard_payloads(
         self,
         coupling: "CouplingMatrix | CouplingStack",
         records: List[ActivityRecord],
         trace_indices: List[int],
         receiver_indices: List[int],
-    ) -> np.ndarray:
-        """Shard the render over the backend and reassemble."""
+    ) -> "Tuple[List[tuple], np.ndarray] | None":
+        """Split one render into backend shard payloads.
+
+        Returns ``(payloads, bounds)`` — shard ``i`` renders trace
+        columns ``bounds[i]:bounds[i+1]`` — or None when the render
+        should stay in-process (serial backend, or fewer traces than
+        would fill two shards).
+        """
         n_traces = len(trace_indices)
         n_shards = min(self.backend.parallelism, n_traces)
         if n_shards <= 1:
-            return self._render_serial(
-                coupling, records, trace_indices, receiver_indices
-            )
+            return None
         # Factor-bearing records travel as slim proxies; proxies are
         # deduplicated by source identity so workers keep the
         # one-EMF-per-distinct-record reuse.
@@ -320,6 +482,24 @@ class MeasurementEngine:
                     receiver_indices,
                 )
             )
+        return payloads, bounds
+
+    def _dispatch(
+        self,
+        coupling: "CouplingMatrix | CouplingStack",
+        records: List[ActivityRecord],
+        trace_indices: List[int],
+        receiver_indices: List[int],
+    ) -> np.ndarray:
+        """Shard the render over the backend and reassemble."""
+        sharded = self._shard_payloads(
+            coupling, records, trace_indices, receiver_indices
+        )
+        if sharded is None:
+            return self._render_serial(
+                coupling, records, trace_indices, receiver_indices
+            )
+        payloads, bounds = sharded
         # Backends with a zero-copy path (``shared``) assemble the
         # result themselves in shared memory; everything else returns
         # pickled shards that are concatenated here.  Both routes are
@@ -328,10 +508,13 @@ class MeasurementEngine:
         if map_concat is not None:
             out_shape = (
                 len(receiver_indices),
-                n_traces,
+                len(trace_indices),
                 self.config.n_samples,
             )
-            return map_concat(_render_shard, payloads, out_shape, bounds)
+            return map_concat(
+                _render_shard, payloads, out_shape, bounds,
+                dtype=self.out_dtype,
+            )
         shards = self.backend.map(_render_shard, payloads)
         return np.concatenate(shards, axis=1)
 
@@ -356,31 +539,14 @@ class MeasurementEngine:
         n_bins = n // 2 + 1
         n_traces = len(trace_indices)
         n_receivers = len(receiver_indices)
-        plans = [self._plan(coupling.receivers[i]) for i in receiver_indices]
-        gain = self.amplifier.gain_curve(fs, n)
-
-        # Per-receiver white-noise scales with the gain curve folded in
-        # (the layout itself lives in repro.em.noise).
-        noise_scales = [
-            white_noise_scales(n, plan.white_rms_eff, bin_gain=gain)
-            for plan in plans
+        captures = [
+            self._capture_plan(coupling.receivers[i])
+            for i in receiver_indices
         ]
-
-        # Ambient tones: on-bin tones are single filtered lines with a
-        # precomputed effective amplitude; off-bin tones (non-default
-        # grids) fall back to add_tone_spectrum plus the gain curve.
-        tone_plans: List[List[tuple]] = []
-        for plan in plans:
-            entries = []
-            for freq, amplitude in plan.tones:
-                bin_index = tone_bin(n, fs, freq)
-                if bin_index is not None:
-                    entries.append(
-                        (bin_index, amplitude * gain[bin_index])
-                    )
-                else:
-                    entries.append((None, (freq, amplitude)))
-            tone_plans.append(entries)
+        plans = [capture[0] for capture in captures]
+        noise_scales = [capture[1] for capture in captures]
+        tone_plans = [capture[2] for capture in captures]
+        gain = self.amplifier.gain_curve(fs, n)
 
         # EMF spectra once per distinct record, reused across captures,
         # with divider and gain curve folded in per receiver.
@@ -396,36 +562,46 @@ class MeasurementEngine:
                 emf_cache[key] = rows
             return rows
 
-        out = np.empty((n_receivers, n_traces, n))
+        out = np.empty((n_receivers, n_traces, n), dtype=self.out_dtype)
         chunk = min(self.chunk_traces, n_traces)
-        scratch = np.empty((n_receivers, chunk, n_bins), dtype=complex)
+        scratch = np.empty(
+            (n_receivers, chunk, n_bins), dtype=self._complex_dtype
+        )
         z_buffer = np.empty(n)
+        jitter_buffer = np.empty(n_bins, dtype=complex)
         two_pi = 2.0 * math.pi
+        seed = config.seed
+        # One (name, jitter, scales, tones) row per receiver, zipped
+        # once — the capture loop below runs per (trace, receiver).
+        row_plans = [
+            (plan.name, plan.gain_jitter, noise_scales[i], tone_plans[i])
+            for i, plan in enumerate(plans)
+        ]
         for lo in range(0, n_traces, chunk):
             hi = min(lo + chunk, n_traces)
             spec = scratch[:, : hi - lo]
             for offset in range(hi - lo):
                 position = lo + offset
                 record = records[position]
+                scenario = record.scenario
+                trace_index = trace_indices[position]
                 emf = emf_rows(record)
-                for row_index, plan in enumerate(plans):
+                for row_index, (name, gain_jitter, scales, tones) in (
+                    enumerate(row_plans)
+                ):
                     row = spec[row_index, offset]
                     rng = stream(
-                        config.seed,
-                        render_stream_name(
-                            record.scenario, plan.name, trace_indices[position]
-                        ),
+                        seed,
+                        render_stream_name(scenario, name, trace_index),
                     )
                     jitter = 1.0
-                    if plan.gain_jitter > 0.0:
+                    if gain_jitter > 0.0:
                         jitter = (
-                            1.0 + plan.gain_jitter * rng.standard_normal()
+                            1.0 + gain_jitter * rng.standard_normal()
                         )
                     z = rng.standard_normal(n, out=z_buffer)
-                    fill_white_noise_spectrum(
-                        row, z, *noise_scales[row_index]
-                    )
-                    for bin_index, payload in tone_plans[row_index]:
+                    fill_white_noise_spectrum(row, z, *scales)
+                    for bin_index, payload in tones:
                         phase = rng.uniform(0.0, two_pi)
                         if bin_index is not None:
                             row[bin_index] += tone_line(payload, n, phase)
@@ -437,7 +613,12 @@ class MeasurementEngine:
                             )
                             row += gain * tone
                     if jitter != 1.0:
-                        row += jitter * emf[row_index]
+                        # jitter * emf without the temporary (IEEE
+                        # multiplication commutes, so the bits match).
+                        np.multiply(
+                            emf[row_index], jitter, out=jitter_buffer
+                        )
+                        row += jitter_buffer
                     else:
                         row += emf[row_index]
             out[:, lo:hi] = scipy_fft.irfft(

@@ -1,0 +1,269 @@
+"""Fused dispatch plans: many logical renders, one engine pass.
+
+Every layer of the reproduction issues renders — sweep cells, fleet
+chips, quadtree scan levels — and each render on its own is too small
+to amortize a worker pool or a shared-memory arena.  A
+:class:`RenderPlan` inverts the flow: callers *enqueue* any number of
+logical renders (each tagged with its origin and tied to its own
+engine), then :meth:`RenderPlan.execute` fuses them into the fewest
+possible engine passes and demultiplexes the results back, with each
+:class:`RenderTicket` resolving to exactly the :class:`TraceBatch`
+its standalone ``engine.render`` call would have produced.
+
+Fusion happens at two levels:
+
+* **request fusion** — requests sharing (engine, coupling object,
+  receiver subset) concatenate their capture lists into one *job*, so
+  e.g. the base and active score-map renders of a localization, or
+  every repeat of a sweep cell, render as one sharded pass;
+* **wave fusion** — all jobs landing on the same backend session
+  submit in a single pool wave (one ``run_jobs`` call on the shared
+  backend, one flat ``map`` on the process backend), so a fleet tick
+  that renders eight chips pays one scatter/gather instead of eight.
+
+Bit-identity is structural, not incidental: every capture's samples
+depend only on its RNG stream ``render/{scenario}/{receiver}/{index}``
+(the engine's determinism contract), so concatenating requests into a
+job and slicing the job's output back apart reproduces each request's
+standalone render exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import MeasurementError
+from .batch import TraceBatch
+
+
+@dataclass
+class _Request:
+    """One enqueued logical render (normalized)."""
+
+    engine: object
+    coupling: object
+    records: list
+    trace_indices: List[int]
+    receiver_indices: List[int]
+    tag: Optional[str]
+    batch: Optional[TraceBatch] = None
+
+
+@dataclass
+class _Job:
+    """Requests fused into one engine pass (same engine/coupling/receivers)."""
+
+    engine: object
+    coupling: object
+    receiver_indices: List[int]
+    records: list = field(default_factory=list)
+    trace_indices: List[int] = field(default_factory=list)
+    #: ``(request, lo, hi)`` — request's capture columns inside the job.
+    spans: List[Tuple[_Request, int, int]] = field(default_factory=list)
+
+    def add(self, request: _Request) -> None:
+        lo = len(self.trace_indices)
+        self.records.extend(request.records)
+        self.trace_indices.extend(request.trace_indices)
+        self.spans.append((request, lo, len(self.trace_indices)))
+
+
+class RenderTicket:
+    """Handle to one enqueued render; resolves after ``execute()``.
+
+    Attributes
+    ----------
+    tag:
+        The caller-supplied origin tag (for demux bookkeeping).
+    """
+
+    def __init__(self, request: _Request):
+        self._request = request
+        self.tag = request.tag
+
+    def result(self) -> TraceBatch:
+        """The rendered batch (raises if the plan has not executed)."""
+        batch = self._request.batch
+        if batch is None:
+            raise MeasurementError(
+                "render plan not executed yet; call RenderPlan.execute()"
+            )
+        return batch
+
+
+class RenderPlan:
+    """Queue of logical renders executed as one fused engine pass.
+
+    Parameters
+    ----------
+    engine:
+        Default engine for :meth:`add` calls that do not name one.
+
+    Usage::
+
+        plan = RenderPlan()
+        t1 = plan.add(coupling_a, records_a, engine=engine, tag="cell-0")
+        t2 = plan.add(coupling_b, records_b, engine=engine, tag="cell-1")
+        plan.execute()
+        batch_a, batch_b = t1.result(), t2.result()
+
+    A plan executes once; enqueue further work on a fresh plan.
+    """
+
+    def __init__(self, engine=None):
+        self._default_engine = engine
+        self._requests: List[_Request] = []
+        self._executed = False
+
+    def __len__(self) -> int:
+        return len(self._requests)
+
+    def add(
+        self,
+        coupling,
+        records: Sequence,
+        trace_indices: Optional[Sequence[int]] = None,
+        receiver_indices: Optional[Sequence[int]] = None,
+        engine=None,
+        tag: Optional[str] = None,
+    ) -> RenderTicket:
+        """Enqueue one logical render; returns its ticket.
+
+        Arguments mirror :meth:`MeasurementEngine.render` exactly
+        (validation happens here, at enqueue time).
+        """
+        if self._executed:
+            raise MeasurementError(
+                "render plan already executed; build a new plan"
+            )
+        engine = engine or self._default_engine
+        if engine is None:
+            raise MeasurementError("no engine for enqueued render")
+        records, trace_indices, receiver_indices = engine._normalize(
+            coupling, records, trace_indices, receiver_indices
+        )
+        request = _Request(
+            engine=engine,
+            coupling=coupling,
+            records=records,
+            trace_indices=trace_indices,
+            receiver_indices=receiver_indices,
+            tag=tag,
+        )
+        self._requests.append(request)
+        return RenderTicket(request)
+
+    def execute(self) -> None:
+        """Run every enqueued render in the fewest engine passes.
+
+        After this returns, every ticket's :meth:`RenderTicket.result`
+        resolves.  Requests fuse into jobs by (engine, coupling,
+        receiver subset); jobs fuse into one pool wave per backend
+        session; results demux back in enqueue order.
+        """
+        if self._executed:
+            raise MeasurementError(
+                "render plan already executed; build a new plan"
+            )
+        self._executed = True
+        if not self._requests:
+            return
+
+        # -- request fusion --------------------------------------------------
+        jobs: Dict[tuple, _Job] = {}
+        for request in self._requests:
+            key = (
+                id(request.engine),
+                id(request.coupling),
+                tuple(request.receiver_indices),
+            )
+            job = jobs.get(key)
+            if job is None:
+                job = _Job(
+                    engine=request.engine,
+                    coupling=request.coupling,
+                    receiver_indices=request.receiver_indices,
+                )
+                jobs[key] = job
+            job.add(request)
+
+        # -- wave fusion: group jobs by backend session ----------------------
+        waves: Dict[int, List[Tuple[_Job, list, np.ndarray]]] = {}
+        wave_backends: Dict[int, object] = {}
+        for job in jobs.values():
+            engine = job.engine
+            sharded = engine._shard_payloads(
+                job.coupling, job.records, job.trace_indices,
+                job.receiver_indices,
+            )
+            if sharded is None:
+                # Serial/small renders stay in-process, untouched.
+                samples = engine._render_serial(
+                    job.coupling, job.records, job.trace_indices,
+                    job.receiver_indices,
+                )
+                self._demux(job, samples)
+                continue
+            payloads, bounds = sharded
+            backend_key = id(engine.backend)
+            wave_backends[backend_key] = engine.backend
+            waves.setdefault(backend_key, []).append(
+                (job, payloads, bounds)
+            )
+
+        from .engine import _render_shard
+
+        for backend_key, entries in waves.items():
+            backend = wave_backends[backend_key]
+            run_jobs = getattr(backend, "run_jobs", None)
+            if run_jobs is not None:
+                # Zero-copy path: one arena, one pool wave, one shared
+                # output segment per job.
+                specs = [
+                    (
+                        payloads,
+                        (
+                            len(job.receiver_indices),
+                            len(job.trace_indices),
+                            job.engine.config.n_samples,
+                        ),
+                        bounds,
+                        job.engine.out_dtype,
+                    )
+                    for job, payloads, bounds in entries
+                ]
+                results = run_jobs(_render_shard, specs)
+                for (job, _, _), samples in zip(entries, results):
+                    self._demux(job, samples)
+            else:
+                # Generic pool path: one flat map over every job's
+                # shards, then per-job reassembly.
+                flat: list = []
+                counts = []
+                for _, payloads, _ in entries:
+                    flat.extend(payloads)
+                    counts.append(len(payloads))
+                shards = backend.map(_render_shard, flat)
+                cursor = 0
+                for (job, _, _), count in zip(entries, counts):
+                    samples = np.concatenate(
+                        shards[cursor : cursor + count], axis=1
+                    )
+                    cursor += count
+                    self._demux(job, samples)
+
+    @staticmethod
+    def _demux(job: _Job, samples: np.ndarray) -> None:
+        """Slice one job's output back into its requests' batches."""
+        for request, lo, hi in job.spans:
+            view = samples[:, lo:hi] if len(job.spans) > 1 else samples
+            request.batch = request.engine._finalize(
+                view,
+                job.coupling,
+                request.records,
+                request.trace_indices,
+                request.receiver_indices,
+            )

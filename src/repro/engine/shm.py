@@ -24,9 +24,13 @@ contract), and is selectable everywhere a backend spec is accepted:
 ``SimConfig(engine_backend="shared")``, the CLI ``--backend shared``,
 or ``MeasurementEngine(..., backend="shared")``.
 
-Lifetime: the output segment lives exactly as long as the returned
-array (a ``weakref.finalize`` closes and unlinks it); input arenas are
-released as soon as the dispatch returns.
+Lifetime: the backend owns a **persistent input arena** — one segment
+reused (and geometrically grown) across every dispatch instead of
+being created/unlinked per render; workers cache their attachment to
+it, so steady-state dispatches pay zero segment churn on the input
+side.  Output segments live exactly as long as the returned arrays (a
+``weakref.finalize`` closes and unlinks each).  :meth:`close` unlinks
+the arena and shuts the pool down; the next dispatch restarts both.
 """
 
 from __future__ import annotations
@@ -34,7 +38,7 @@ from __future__ import annotations
 import weakref
 from dataclasses import dataclass
 from multiprocessing import resource_tracker, shared_memory
-from typing import Callable, Dict, List, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -70,6 +74,25 @@ def _attach(name: str) -> shared_memory.SharedMemory:
         return shared_memory.SharedMemory(name=name)
     finally:
         resource_tracker.register = original
+
+
+#: Worker-side attachment memo: arena segments are named stably across
+#: dispatches, so long-lived workers attach once per arena generation
+#: instead of once per task.  Bounded (stale generations are closed)
+#: because a grown arena gets a fresh name.
+_ATTACH_CACHE: Dict[str, shared_memory.SharedMemory] = {}
+_ATTACH_CACHE_LIMIT = 8
+
+
+def _attach_cached(name: str) -> shared_memory.SharedMemory:
+    shm = _ATTACH_CACHE.get(name)
+    if shm is None:
+        while len(_ATTACH_CACHE) >= _ATTACH_CACHE_LIMIT:
+            _, stale = _ATTACH_CACHE.popitem()
+            stale.close()
+        shm = _attach(name)
+        _ATTACH_CACHE[name] = shm
+    return shm
 
 
 def _view(shm: shared_memory.SharedMemory, ref: SharedArrayRef) -> np.ndarray:
@@ -111,23 +134,76 @@ class _InputArena:
     def n_arrays(self) -> int:
         return len(self._arrays)
 
+    @property
+    def nbytes(self) -> int:
+        """Bytes the planned arrays occupy (including alignment)."""
+        return self._total
+
+    def write_into(self, shm: shared_memory.SharedMemory) -> None:
+        """Copy every planned array into an existing segment."""
+        for array, ref in zip(self._arrays, self._refs.values()):
+            view = np.ndarray(
+                ref.shape,
+                dtype=np.dtype(ref.dtype),
+                buffer=shm.buf,
+                offset=ref.offset,
+            )
+            view[...] = array
+
     def materialize(self) -> str:
         """Create the segment, copy every planned array in; its name."""
         self.shm = shared_memory.SharedMemory(
             create=True, size=max(self._total, 1)
         )
-        refs = list(self._refs.values())
-        for array, ref in zip(self._arrays, refs):
-            view = np.ndarray(
-                ref.shape,
-                dtype=np.dtype(ref.dtype),
-                buffer=self.shm.buf,
-                offset=ref.offset,
-            )
-            view[...] = array
+        self.write_into(self.shm)
         return self.shm.name
 
     def release(self) -> None:
+        if self.shm is not None:
+            self.shm.close()
+            try:
+                self.shm.unlink()
+            except FileNotFoundError:
+                pass
+            self.shm = None
+
+
+class _PersistentArena:
+    """One input segment reused (and grown) across dispatches.
+
+    Per dispatch the payload arrays are *planned* with a fresh
+    :class:`_InputArena` (identity-dedup, alignment) but *written*
+    into a segment that outlives the call: if the planned bytes fit
+    the current segment it is reused in place; otherwise a segment of
+    the next power-of-two size replaces it (the old one is unlinked —
+    worker-side attachment memos expire by name).  Steady-state
+    dispatches therefore create zero input segments.
+    """
+
+    def __init__(self) -> None:
+        self.shm: Optional[shared_memory.SharedMemory] = None
+        self.generations = 0
+
+    @property
+    def capacity(self) -> int:
+        """Bytes the current segment can hold (0 = no segment)."""
+        return 0 if self.shm is None else self.shm.size
+
+    def place(self, plan: _InputArena) -> str:
+        """Write a planned arena into the persistent segment; its name."""
+        needed = max(plan.nbytes, 1)
+        if self.shm is None or self.shm.size < needed:
+            size = 1
+            while size < needed:
+                size *= 2
+            self.close()
+            self.shm = shared_memory.SharedMemory(create=True, size=size)
+            self.generations += 1
+        plan.write_into(self.shm)
+        return self.shm.name
+
+    def close(self) -> None:
+        """Unlink the segment (the next dispatch allocates afresh)."""
         if self.shm is not None:
             self.shm.close()
             try:
@@ -201,7 +277,7 @@ def _resolve_payload(payload, shm: shared_memory.SharedMemory, seen):
 def _run_shard(task) -> None:
     """Pool entry point: render one shard into the shared output."""
     (fn, payload, in_name, out_name, out_shape, out_dtype, lo, hi) = task
-    in_shm = _attach(in_name) if in_name is not None else None
+    in_shm = _attach_cached(in_name) if in_name is not None else None
     out_shm = _attach(out_name)
     try:
         if in_shm is not None:
@@ -213,8 +289,6 @@ def _run_shard(task) -> None:
         out[:, lo:hi] = result
     finally:
         out_shm.close()
-        if in_shm is not None:
-            in_shm.close()
 
 
 def _release_segment(shm: shared_memory.SharedMemory) -> None:
@@ -228,18 +302,48 @@ def _release_segment(shm: shared_memory.SharedMemory) -> None:
 class SharedMemoryBackend(ProcessBackend):
     """Worker-pool backend shipping shards through shared memory.
 
-    Pool management (lazy fork-preferring executor, :meth:`close`) is
-    inherited from :class:`~repro.engine.backends.ProcessBackend`; the
-    generic :meth:`map` fallback also remains available.  The engine
-    dispatches through :meth:`map_concat`, the zero-copy path.
+    Pool management (lazy fork-preferring executor, restart-on-use
+    after :meth:`close`) is inherited from
+    :class:`~repro.engine.backends.ProcessBackend`; the generic
+    :meth:`map` fallback also remains available.  The engine
+    dispatches through :meth:`map_concat` (one logical render) or
+    :meth:`run_jobs` (a fused plan of many renders in one pool wave);
+    both share the persistent input arena.
 
     Parameters
     ----------
     max_workers:
         Pool size (default: the machine's CPU count, minimum 2).
+    start_method:
+        Worker start method (see :class:`ProcessBackend`).
     """
 
     name = "shared"
+
+    def __init__(
+        self,
+        max_workers: int | None = None,
+        start_method: str | None = None,
+    ):
+        super().__init__(max_workers=max_workers, start_method=start_method)
+        self._arena = _PersistentArena()
+
+    @property
+    def arena_generations(self) -> int:
+        """Times the persistent input arena was (re)allocated."""
+        return self._arena.generations
+
+    @property
+    def arena_capacity(self) -> int:
+        """Current input-arena capacity in bytes."""
+        return self._arena.capacity
+
+    def close(self) -> None:
+        """Release the arena and the pool (a later dispatch restarts)."""
+        self._arena.close()
+        super().close()
+
+    # -- dispatch paths ------------------------------------------------------
 
     def map_concat(
         self,
@@ -277,40 +381,87 @@ class SharedMemoryBackend(ProcessBackend):
             )
         if len(payloads) == 1:
             return np.asarray(fn(payloads[0]), dtype=dtype)
-
-        arena = _InputArena()
-        seen: Dict[int, bool] = {}
-        payloads = [
-            _pack_payload(payload, arena, seen) for payload in payloads
-        ]
-        in_name = arena.materialize() if arena.n_arrays else None
-        out_dtype = np.dtype(dtype)
-        out_shm = shared_memory.SharedMemory(
-            create=True,
-            size=max(int(np.prod(out_shape)) * out_dtype.itemsize, 1),
+        [result] = self.run_jobs(
+            fn, [(list(payloads), tuple(out_shape), list(splits), dtype)]
         )
-        try:
-            tasks = [
+        return result
+
+    def run_jobs(
+        self,
+        fn: Callable,
+        jobs: Sequence[Tuple[Sequence, Tuple[int, int, int], Sequence[int], object]],
+    ) -> List[np.ndarray]:
+        """Evaluate many sharded renders as **one** pool wave.
+
+        The fused-dispatch entry point: every job's shard payloads are
+        packed into the one persistent input arena and submitted to
+        the pool in a single ``map`` call, so a plan of N logical
+        renders pays one scatter/gather instead of N.
+
+        Parameters
+        ----------
+        fn:
+            Shard renderer (shared by every job).
+        jobs:
+            ``(payloads, out_shape, splits, dtype)`` per logical
+            render, with the same semantics as :meth:`map_concat`.
+
+        Returns
+        -------
+        list of numpy.ndarray
+            One assembled result per job, in job order, each backed by
+            its own shared segment (lifetime tied to the array).
+        """
+        plan = _InputArena()
+        seen: Dict[int, bool] = {}
+        packed_jobs = []
+        for payloads, out_shape, splits, dtype in jobs:
+            if len(payloads) != len(splits) - 1:
+                raise ValueError(
+                    f"{len(payloads)} payloads for {len(splits) - 1} splits"
+                )
+            packed_jobs.append(
                 (
-                    fn,
-                    payload,
-                    in_name,
-                    out_shm.name,
+                    [_pack_payload(p, plan, seen) for p in payloads],
                     tuple(out_shape),
-                    out_dtype.str,
-                    int(lo),
-                    int(hi),
+                    [int(s) for s in splits],
+                    np.dtype(dtype),
                 )
-                for payload, lo, hi in zip(
-                    payloads, splits[:-1], splits[1:]
+            )
+        in_name = self._arena.place(plan) if plan.n_arrays else None
+
+        out_segments: List[shared_memory.SharedMemory] = []
+        tasks = []
+        try:
+            for payloads, out_shape, splits, dtype in packed_jobs:
+                out_shm = shared_memory.SharedMemory(
+                    create=True,
+                    size=max(int(np.prod(out_shape)) * dtype.itemsize, 1),
                 )
-            ]
+                out_segments.append(out_shm)
+                for payload, lo, hi in zip(payloads, splits[:-1], splits[1:]):
+                    tasks.append(
+                        (
+                            fn,
+                            payload,
+                            in_name,
+                            out_shm.name,
+                            out_shape,
+                            dtype.str,
+                            lo,
+                            hi,
+                        )
+                    )
             list(self._pool().map(_run_shard, tasks))
         except BaseException:
-            _release_segment(out_shm)
+            for out_shm in out_segments:
+                _release_segment(out_shm)
             raise
-        finally:
-            arena.release()
-        out = np.ndarray(out_shape, dtype=out_dtype, buffer=out_shm.buf)
-        weakref.finalize(out, _release_segment, out_shm)
-        return out
+        results = []
+        for out_shm, (_, out_shape, _, dtype) in zip(
+            out_segments, packed_jobs
+        ):
+            out = np.ndarray(out_shape, dtype=dtype, buffer=out_shm.buf)
+            weakref.finalize(out, _release_segment, out_shm)
+            results.append(out)
+        return results

@@ -40,6 +40,10 @@ class ExperimentContext:
             campaign=MeasurementCampaign(chip, psa),
         )
 
+    def close(self) -> None:
+        """Release the engine's backend resources (pool, shared arena)."""
+        self.psa.close()
+
 
 _default: Optional[ExperimentContext] = None
 

@@ -64,8 +64,18 @@ def quantize_batch(
         return quantize(samples, spec)
     if headroom <= 0:
         raise MeasurementError("auto-range headroom must be positive")
-    peak = np.max(np.abs(samples), axis=-1, keepdims=True)
+    # max|x| as max(max(x), -min(x)): the full-size |samples| buffer
+    # np.abs would allocate is never materialized.
+    peak = np.maximum(
+        np.max(samples, axis=-1, keepdims=True),
+        -np.min(samples, axis=-1, keepdims=True),
+    )
     full_scale = np.where(peak > 0.0, headroom * peak, spec.full_scale)
     lsb = 2.0 * full_scale / (1 << spec.n_bits)
-    clipped = np.clip(samples, -full_scale, full_scale - lsb)
-    return np.round(clipped / lsb) * lsb
+    # One working buffer end to end: clip, scale to codes, round
+    # (np.rint == np.round at zero decimals), scale back.
+    codes = np.clip(samples, -full_scale, full_scale - lsb)
+    np.divide(codes, lsb, out=codes)
+    np.rint(codes, out=codes)
+    np.multiply(codes, lsb, out=codes)
+    return codes

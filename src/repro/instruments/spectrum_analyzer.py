@@ -21,6 +21,7 @@ from ..dsp.transforms import (
     amplitude_spectrum,
     average_spectra,
     resample_spectra,
+    resample_spectra_at,
     resample_spectrum,
 )
 from ..engine import TraceBatch
@@ -122,6 +123,24 @@ class SpectrumAnalyzer:
         freqs, native = amplitude_spectra(samples, fs)
         return resample_spectra(
             freqs, native, self.f_lo, self.f_hi, self.n_points
+        )
+
+    def display_grid(self) -> np.ndarray:
+        """The display frequency axis, without computing any spectra."""
+        return np.linspace(self.f_lo, self.f_hi, self.n_points)
+
+    def display_bins(
+        self, samples: np.ndarray, fs: float, bins: np.ndarray
+    ) -> "tuple[np.ndarray, np.ndarray]":
+        """:meth:`display_matrix` restricted to display columns ``bins``.
+
+        Returns ``(grid[bins], amps[:, bins])`` bit-identical to the
+        corresponding columns of the full display — the fast path when
+        a caller only reads a handful of feature bins per trace.
+        """
+        freqs, native = amplitude_spectra(samples, fs)
+        return resample_spectra_at(
+            freqs, native, bins, self.f_lo, self.f_hi, self.n_points
         )
 
     def display_spectra(self, samples: np.ndarray, fs: float) -> List[Spectrum]:

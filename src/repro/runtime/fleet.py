@@ -392,6 +392,18 @@ class FleetScheduler:
         self.queue_depth = queue_depth
         self.max_queue_len = 0
 
+    def close(self) -> None:
+        """Release every member's backend resources (pools, arenas).
+
+        Named backends are process-wide sessions shared by the whole
+        fleet, so this is effectively one pool/arena teardown; a later
+        run transparently restarts them.
+        """
+        for monitor in self.monitors:
+            campaign = getattr(monitor.source, "campaign", None)
+            if campaign is not None:
+                campaign.close()
+
     def run(self) -> FleetReport:
         """Drive every member to completion; returns the fleet report.
 
@@ -399,40 +411,92 @@ class FleetScheduler:
         one rendered chunk and one processed chunk, so all members
         make progress together — a genuinely concurrent monitoring
         service, deterministically scheduled.
+
+        Ticks are two-phase.  The **render** phase collects every
+        pending member's missing chunks (up to the backpressure bound)
+        and renders them as one fused engine pass — with live sources,
+        the whole fleet's captures of a tick pay one dispatch instead
+        of one per chip.  The **process** phase then advances each
+        member by exactly one chunk, in member order.  Chunk contents,
+        per-member processing order, backpressure accounting and the
+        emitted reports are bit-identical to per-member rendering
+        (the engine's determinism contract).
         """
+        from ..engine import RenderPlan
+
         for monitor in self.monitors:
             monitor.pipeline.bind(monitor.source)
-        producers: List[Optional[Iterator[StreamChunk]]] = [
-            iter(monitor.source.chunks()) for monitor in self.monitors
-        ]
+        # Live sources expose their chunk plan for fused rendering;
+        # anything else (e.g. replayed archives) streams chunks
+        # directly — both kinds can share one fleet.
+        spec_producers: List[Optional[Iterator]] = []
+        chunk_producers: List[Optional[Iterator[StreamChunk]]] = []
+        for monitor in self.monitors:
+            source = monitor.source
+            if hasattr(source, "chunk_specs") and hasattr(
+                source, "enqueue_chunk"
+            ):
+                spec_producers.append(iter(source.chunk_specs()))
+                chunk_producers.append(None)
+            else:
+                spec_producers.append(None)
+                chunk_producers.append(iter(source.chunks()))
         queues: List[deque] = [deque() for _ in self.monitors]
         interleave: List[str] = []
         start = time.perf_counter()
         pending = set(range(len(self.monitors)))
         while pending:
+            # Render phase: stage every member's queue refill on one
+            # fused plan, execute once, append in member order.
+            plan = RenderPlan()
+            staged: List[tuple] = []
             for index in sorted(pending):
                 monitor = self.monitors[index]
                 queue = queues[index]
-                # Producer side: prefetch renders until the bounded
-                # queue is full (the backpressure contract) or the
-                # schedule is exhausted.
-                while (
-                    producers[index] is not None
-                    and len(queue) < self.queue_depth
-                ):
-                    try:
-                        queue.append(next(producers[index]))
+                space = self.queue_depth - len(queue)
+                if spec_producers[index] is not None:
+                    while space > 0:
+                        try:
+                            spec = next(spec_producers[index])
+                        except StopIteration:
+                            spec_producers[index] = None
+                            break
+                        ticket = monitor.source.enqueue_chunk(plan, spec)
+                        staged.append((index, spec[0], ticket))
+                        space -= 1
+                elif chunk_producers[index] is not None:
+                    while space > 0:
+                        try:
+                            queue.append(next(chunk_producers[index]))
+                        except StopIteration:
+                            chunk_producers[index] = None
+                            break
+                        space -= 1
                         self.max_queue_len = max(
                             self.max_queue_len, len(queue)
                         )
-                    except StopIteration:
-                        producers[index] = None
-                # Consumer side: process exactly one chunk per tick.
+            if len(plan):
+                plan.execute()
+            for index, position, ticket in staged:
+                source = self.monitors[index].source
+                queues[index].append(
+                    source.chunk_from(ticket.result(), position)
+                )
+                self.max_queue_len = max(
+                    self.max_queue_len, len(queues[index])
+                )
+            # Process phase: exactly one chunk per member per tick.
+            for index in sorted(pending):
+                monitor = self.monitors[index]
+                queue = queues[index]
                 if queue:
                     chunk = queue.popleft()
                     monitor.pipeline.process_chunk(chunk)
                     interleave.append(monitor.chip_id)
-                elif producers[index] is None:
+                elif (
+                    spec_producers[index] is None
+                    and chunk_producers[index] is None
+                ):
                     monitor.report = monitor.pipeline.report(
                         trigger_index=monitor.source.trigger_index
                     )

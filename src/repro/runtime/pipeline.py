@@ -39,7 +39,11 @@ from ..core.analysis.detector import DetectorConfig
 from ..core.analysis.identifier import IdentificationResult, TrojanIdentifier
 from ..core.analysis.localizer import LocalizationResult, Localizer
 from ..core.analysis.mttd import MttdModel, MttdResult, mttd_from_alarm
-from ..core.analysis.spectral import sideband_features_db, sideband_frequencies
+from ..core.analysis.spectral import (
+    sideband_display_bins,
+    sideband_features_db,
+    sideband_frequencies,
+)
 from ..core.analysis.welford import DetectorBank
 from ..errors import AnalysisError
 from ..instruments.adc import AdcSpec, quantize_batch
@@ -70,13 +74,19 @@ def chunk_features(
     one batched display-spectrum + sideband-feature pass.  Every
     element is a function of that window's samples alone, so the
     result is independent of how the stream was chunked.
+
+    Only the display bins the sideband feature reads are resampled
+    (~1% of the grid); the values are bit-identical to featurizing the
+    full display, see :func:`~repro.core.analysis.spectral
+    .sideband_display_bins`.
     """
     samples = chunk.samples
     if adc is not None:
         samples = quantize_batch(samples, adc, headroom=AUTO_RANGE_HEADROOM)
     n_streams, k, n_samples = samples.shape
-    grid, display = analyzer.display_matrix(
-        samples.reshape(-1, n_samples), chunk.fs
+    bins = sideband_display_bins(analyzer.display_grid(), config)
+    grid, display = analyzer.display_bins(
+        samples.reshape(-1, n_samples), chunk.fs, bins
     )
     return sideband_features_db(grid, display, config).reshape(n_streams, k)
 

@@ -348,29 +348,59 @@ class LiveSource:
         """The simulation config behind the rendered windows."""
         return self.campaign.chip.config
 
-    def chunks(self) -> Iterator[StreamChunk]:
-        """Render the schedule chunk by chunk, in window order."""
+    def chunk_specs(self) -> Iterator[Tuple[int, StreamSegment]]:
+        """The schedule's chunk plan: ``(start window, sub-segment)``.
+
+        Chunks never span a schedule segment boundary, so every window
+        keeps its scripted (scenario, trace_index) identity regardless
+        of who renders the chunk or how many fuse into one pass.
+        """
         position = 0
         for segment in self.schedule.segments:
             for lo in range(0, segment.n_traces, self.chunk):
                 k = min(self.chunk, segment.n_traces - lo)
-                sub = StreamSegment(
+                yield position, StreamSegment(
                     segment.scenario, k, segment.index_offset + lo
                 )
-                batch = self.campaign.collect_stream(
-                    [sub],
-                    sensors=list(self.sensors),
-                    record_cache=self._record_cache,
-                )
-                yield StreamChunk(
-                    samples=batch.samples,
-                    fs=batch.fs,
-                    start=position,
-                    scenarios=batch.scenarios,
-                    trace_indices=batch.trace_indices,
-                    labels=batch.labels,
-                )
                 position += k
+
+    def enqueue_chunk(self, plan, spec: Tuple[int, StreamSegment]):
+        """Enqueue one chunk spec's render on a fused dispatch plan.
+
+        Returns the plan ticket; after ``plan.execute()``, turn it
+        into the chunk with :meth:`chunk_from`.  The fleet scheduler
+        uses this to render every pending chip's chunk of a tick as
+        one engine pass.
+        """
+        _, sub = spec
+        return self.campaign.enqueue_stream(
+            plan,
+            [sub],
+            sensors=list(self.sensors),
+            record_cache=self._record_cache,
+        )
+
+    @staticmethod
+    def chunk_from(batch, position: int) -> StreamChunk:
+        """Wrap one rendered chunk batch as its stream chunk."""
+        return StreamChunk(
+            samples=batch.samples,
+            fs=batch.fs,
+            start=position,
+            scenarios=batch.scenarios,
+            trace_indices=batch.trace_indices,
+            labels=batch.labels,
+        )
+
+    def chunks(self) -> Iterator[StreamChunk]:
+        """Render the schedule chunk by chunk, in window order."""
+        for position, sub in self.chunk_specs():
+            batch = self.campaign.collect_stream(
+                [sub],
+                sensors=list(self.sensors),
+                record_cache=self._record_cache,
+            )
+            yield self.chunk_from(batch, position)
 
     def localization_records(
         self,

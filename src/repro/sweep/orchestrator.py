@@ -119,7 +119,14 @@ class DetectionSweep:
             )
 
     def run(self, grid: SweepGrid) -> SweepReport:
-        """Evaluate every cell of a grid."""
+        """Evaluate every cell of a grid.
+
+        All spans missing from the feature cache render first as one
+        fused engine pass across cells (grouped per sensor subset), so
+        a whole grid pays one dispatch instead of one per span; each
+        span then featurizes exactly as it would standalone.
+        """
+        self._prefetch(grid.cells)
         cells = tuple(
             self._evaluate(cell, grid.keep_features) for cell in grid.cells
         )
@@ -128,6 +135,43 @@ class DetectionSweep:
             trace_period_s=self.mttd_model.trace_period(self.config),
             cells=cells,
         )
+
+    def close(self) -> None:
+        """Release the campaign engine's backend resources."""
+        self.campaign.close()
+
+    def _prefetch(self, cells) -> None:
+        """Render every uncached span of a grid in one fused pass."""
+        from ..engine import RenderPlan
+
+        plan = RenderPlan()
+        pending = {}
+        for cell in cells:
+            for segment in cell.segments:
+                key = (
+                    segment.scenario,
+                    segment.n_traces,
+                    segment.index_offset,
+                    cell.sensors,
+                    cell.quantize,
+                )
+                if key in pending:
+                    continue
+                if self._feature_cache.get(key) is not None:
+                    continue
+                ticket = self.campaign.enqueue_stream(
+                    plan,
+                    [segment],
+                    sensors=list(cell.sensors),
+                    record_cache=self._record_cache,
+                )
+                pending[key] = (ticket, cell.quantize)
+        if not pending:
+            return
+        plan.execute()
+        for key, (ticket, quantize) in pending.items():
+            features = self._featurize(ticket.result(), quantize)
+            self._feature_cache[key] = features
 
     # -- per-cell evaluation ---------------------------------------------------
 
@@ -170,20 +214,25 @@ class DetectionSweep:
                 sensors=list(sensors),
                 record_cache=self._record_cache,
             )
-            samples = batch.samples
-            if quantize:
-                samples = quantize_batch(
-                    samples, self.adc, headroom=AUTO_RANGE_HEADROOM
-                )
-            n_sensors, n_traces, n_samples = samples.shape
-            grid_freqs, display = self.analyzer.display_matrix(
-                samples.reshape(-1, n_samples), batch.fs
-            )
-            features = sideband_features_db(
-                grid_freqs, display, self.config
-            ).reshape(n_sensors, n_traces)
-            features.flags.writeable = False  # shared across cells
+            features = self._featurize(batch, quantize)
             self._feature_cache[key] = features
+        return features
+
+    def _featurize(self, batch, quantize: bool) -> np.ndarray:
+        """One rendered span to its read-only feature block [dB]."""
+        samples = batch.samples
+        if quantize:
+            samples = quantize_batch(
+                samples, self.adc, headroom=AUTO_RANGE_HEADROOM
+            )
+        n_sensors, n_traces, n_samples = samples.shape
+        grid_freqs, display = self.analyzer.display_matrix(
+            samples.reshape(-1, n_samples), batch.fs
+        )
+        features = sideband_features_db(
+            grid_freqs, display, self.config
+        ).reshape(n_sensors, n_traces)
+        features.flags.writeable = False  # shared across cells
         return features
 
     def _evaluate(self, cell: SweepCell, keep_features: bool) -> SweepCellResult:

@@ -184,6 +184,50 @@ class MeasurementCampaign:
             raise WorkloadError("need at least one stream segment")
         return self._collect(segments, sensors, record_cache)[1]
 
+    def enqueue_stream(
+        self,
+        plan,
+        segments: Sequence[StreamSegment],
+        sensors: Optional[Sequence[int]] = None,
+        record_cache: Optional[
+            MutableMapping[Tuple[str, int], ActivityRecord]
+        ] = None,
+        tag: Optional[str] = None,
+    ):
+        """Enqueue a stream capture on a fused dispatch plan.
+
+        The plan-joining twin of :meth:`collect_stream`: records are
+        built (and memoized) at enqueue time, the render joins ``plan``
+        (a :class:`~repro.engine.RenderPlan`), and the returned ticket
+        resolves to the identical :class:`TraceBatch` after
+        ``plan.execute()``.  Streams of many cells/chips enqueued on
+        one plan render as a single fused engine pass.
+        """
+        if not segments:
+            raise WorkloadError("need at least one stream segment")
+        records: List[ActivityRecord] = []
+        indices: List[int] = []
+        for segment in segments:
+            scenario = scenario_by_name(segment.scenario)
+            for index in segment.indices:
+                if record_cache is None:
+                    record = self.record(scenario, index)
+                else:
+                    key = (scenario.name, index)
+                    record = record_cache.get(key)
+                    if record is None:
+                        record = self.record(scenario, index)
+                        record_cache[key] = record
+                records.append(record)
+                indices.append(index)
+        return self.psa.enqueue(
+            plan, records, trace_indices=indices, sensors=sensors, tag=tag
+        )
+
+    def close(self) -> None:
+        """Release the PSA engine's backend resources."""
+        self.psa.close()
+
     def _collect(
         self,
         segments: Sequence[StreamSegment],

@@ -34,6 +34,23 @@ def test_collect_metrics_flattens_nested_monitored_keys():
     }
 
 
+def test_backend_scaling_metrics_are_monitored():
+    baseline = {
+        "shared_backend": {"speedup_vs_serial": 0.44, "workers": 2},
+        "fleet_scaling": {"scaling_efficiency": 0.9, "chips": [1, 4]},
+    }
+    regressed = {
+        "shared_backend": {"speedup_vs_serial": 0.2, "workers": 2},
+        "fleet_scaling": {"scaling_efficiency": 0.5, "chips": [1, 4]},
+    }
+    assert check_bench.compare_reports(baseline, baseline, 0.25) == []
+    problems = check_bench.compare_reports(baseline, regressed, 0.25)
+    assert len(problems) == 2
+    joined = "\n".join(problems)
+    assert "shared_backend.speedup_vs_serial" in joined
+    assert "fleet_scaling.scaling_efficiency" in joined
+
+
 def test_compare_passes_within_tolerance():
     baseline = {"speedup": 4.0, "sweep": {"cells_per_sec": 10.0}}
     current = {"speedup": 3.2, "sweep": {"cells_per_sec": 7.6}}

@@ -3,12 +3,13 @@
 
 Compares the monitored throughput metrics (``speedup``,
 ``windows_per_sec``, ``cells_per_sec``, ``traces_per_sec``,
-``speedup_vs_cold``) of freshly produced benchmark reports against
-the committed baselines in ``benchmarks/baselines/``.  All monitored
-metrics are higher-is-better; a current value more than ``tolerance``
-(default 25%) below its baseline fails the gate, as does a monitored
-baseline metric missing from the current report (a silently dropped
-benchmark must not pass).
+``speedup_vs_cold``, ``speedup_vs_serial``, ``scaling_efficiency``)
+of freshly produced benchmark reports against the committed baselines
+in ``benchmarks/baselines/``.  All monitored metrics are
+higher-is-better; a current value more than ``tolerance`` (default
+25%) below its baseline fails the gate, as does a monitored baseline
+metric missing from the current report (a silently dropped benchmark
+must not pass).
 
 Metrics present only in the *current* report (new rows) are ignored —
 they become gated once a baseline commits them.  Non-monitored keys
@@ -38,6 +39,8 @@ MONITORED = (
     "cells_per_sec",
     "traces_per_sec",
     "speedup_vs_cold",
+    "speedup_vs_serial",
+    "scaling_efficiency",
 )
 
 #: Default allowed relative drop below baseline.
