@@ -21,6 +21,12 @@ from ..crypto.key_schedule import expand_key
 from ..crypto.lut_core import AesLutCore
 from ..crypto.sbox import bit_hamming
 from ..errors import WorkloadError
+from ..trojans.always_on import (
+    ALWAYS_ON_NAMES,
+    T1AContinuousCarrier,
+    T2AContinuousLeaker,
+    TPParametricDrift,
+)
 from ..trojans.base import CycleContext, Trojan
 from ..trojans.t1_am_carrier import T1AmCarrier, T1_TERMINAL
 from ..trojans.t2_leakage import T2KeyLeakInverters
@@ -32,6 +38,16 @@ from .power import ActivityRecord
 
 #: Scenario labels accepted by :meth:`TestChip.run_trace`.
 TROJAN_NAMES = ("T1", "T2", "T3", "T4")
+
+#: Always-on variant factories (instantiated only when requested; the
+#: fabricated chip carries exactly T1..T4, so a variant scenario
+#: models a *different* chip carrying that implant instead).
+_VARIANT_FACTORIES = {
+    "T1A": T1AContinuousCarrier,
+    "T2A": T2AContinuousLeaker,
+    "TP": TPParametricDrift,
+}
+assert set(_VARIANT_FACTORIES) == set(ALWAYS_ON_NAMES)
 
 
 #: Hamming distance (popcount lookup, shared with the LUT core).
@@ -89,19 +105,25 @@ class TestChip:
         return weights
 
     def make_trojans(self, active: Iterable[str]) -> List[Trojan]:
-        """Instantiate the four Trojans for a measurement scenario.
+        """Instantiate the Trojans present in a measurement scenario.
 
         ``active`` lists the Trojans whose payloads should fire in this
         window: T1 gets its counter parked at the terminal count (the
         experimentalist waits for an activation; we fast-forward to it),
         T2 is armed (the workload must supply matching plaintext), and
         T3/T4 get their external enables asserted.
+
+        The four catalog Trojans are always present (their trigger
+        circuits tick even when inactive).  An always-on *variant*
+        (``"T1A"``/``"T2A"``/``"TP"``) is additionally fabricated into
+        the chip only when named — it has no off state, so a chip
+        carrying one can never produce a Trojan-quiet record.
         """
         active_set = frozenset(active)
-        unknown = active_set.difference(TROJAN_NAMES)
+        unknown = active_set.difference(TROJAN_NAMES, _VARIANT_FACTORIES)
         if unknown:
             raise WorkloadError(f"unknown Trojans requested: {sorted(unknown)}")
-        return [
+        trojans: List[Trojan] = [
             T1AmCarrier(
                 enabled="T1" in active_set,
                 start_count=T1_TERMINAL if "T1" in active_set else 0,
@@ -110,6 +132,10 @@ class TestChip:
             T3CdmaLeaker(enabled="T3" in active_set, key=self.key),
             T4DosHeater(enabled="T4" in active_set),
         ]
+        for name in ALWAYS_ON_NAMES:
+            if name in active_set:
+                trojans.append(_VARIANT_FACTORIES[name]())
+        return trojans
 
     # -- simulation --------------------------------------------------------------
 
@@ -172,7 +198,9 @@ class TestChip:
         block_cycles = config.block_cycles
         for trj in trojans:
             trj.reset()
-            weights = self._module_weights[trj.name]
+            # Variants without a dedicated floorplan rect occupy their
+            # host module's placement (e.g. T1A sits in T1's rect).
+            weights = self._module_weights[trj.site or trj.name]
             toggles = np.zeros(config.n_cycles)
             for cycle in range(config.n_cycles):
                 block = cycle // block_cycles

@@ -30,6 +30,7 @@ from typing import Callable, Dict, List, Optional
 
 from .config import BACKEND_NAMES, PRECISION_NAMES, SimConfig
 from .engine import close_backend_sessions
+from .errors import AnalysisError, ReproError
 from .experiments.context import ExperimentContext
 from .runtime.presets import MONITOR_PRESETS
 from .store import ArtifactStore
@@ -123,6 +124,8 @@ def _cmd_cost(ctx: ExperimentContext, args: argparse.Namespace) -> str:
 
 
 def _cmd_sweep(ctx: ExperimentContext, args: argparse.Namespace) -> str:
+    from dataclasses import replace
+
     from .sweep import (
         DetectionSweep,
         LocalizationSweep,
@@ -132,22 +135,61 @@ def _cmd_sweep(ctx: ExperimentContext, args: argparse.Namespace) -> str:
 
     store = _resolve_store(args)
     if args.grid in LOCALIZE_GRIDS:
+        if args.detector is not None:
+            raise AnalysisError(
+                f"--detector applies to detection grids only; "
+                f"{args.grid!r} is a localization grid"
+            )
         sweep = LocalizationSweep(
             ctx.config, campaign=ctx.campaign, store=store
         )
         report = sweep.run(build_localize_grid(args.grid))
     else:
-        report = DetectionSweep(ctx.campaign, store=store).run(
-            build_grid(args.grid)
-        )
+        if args.grid not in GRIDS:
+            raise AnalysisError(
+                f"unknown sweep grid {args.grid!r}; detection grids: "
+                f"{', '.join(sorted(GRIDS))}; localization grids: "
+                f"{', '.join(sorted(LOCALIZE_GRIDS))}"
+            )
+        grid = build_grid(args.grid)
+        if args.detector is not None:
+            _check_detector(args.detector)
+            # Re-derive labels so the method shows up in them (and
+            # cells differing only by method stay distinct).
+            grid = replace(
+                grid,
+                cells=tuple(
+                    replace(cell, detector_name=args.detector, label="")
+                    for cell in grid.cells
+                ),
+            )
+        report = DetectionSweep(ctx.campaign, store=store).run(grid)
     if args.sweep_json:
         Path(args.sweep_json).write_text(report.to_json() + "\n")
     return report.format() + "\n" + _store_summary(store)
 
 
-def _cmd_monitor(ctx: ExperimentContext, args: argparse.Namespace) -> str:
-    from .runtime import EventBus, JsonlSink, build_fleet
+def _check_detector(name: str) -> None:
+    """Friendly unknown-detector error, before any rendering starts."""
+    from .detectors import available
 
+    if name not in available():
+        raise AnalysisError(
+            f"unknown detector {name!r}; available detectors: "
+            f"{', '.join(available())}"
+        )
+
+
+def _cmd_monitor(ctx: ExperimentContext, args: argparse.Namespace) -> str:
+    from dataclasses import replace
+
+    from .runtime import EventBus, JsonlSink, build_fleet
+    from .runtime.presets import build_preset
+
+    preset = build_preset(args.preset)
+    if args.detector is not None:
+        _check_detector(args.detector)
+        preset = replace(preset, detector_name=args.detector)
     bus = EventBus()
     sink = None
     store = _resolve_store(args)
@@ -156,7 +198,7 @@ def _cmd_monitor(ctx: ExperimentContext, args: argparse.Namespace) -> str:
         bus.subscribe(sink)
     try:
         scheduler = build_fleet(
-            args.preset,
+            preset,
             n_chips=args.fleet,
             config=ctx.config,
             bus=bus,
@@ -247,11 +289,23 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--grid",
-        choices=sorted(GRIDS) + sorted(LOCALIZE_GRIDS),
+        metavar="NAME",
         default="smoke",
         help=(
-            "named grid for the sweep command: a detection grid or a "
-            "localization grid (default smoke)"
+            "named grid for the sweep command: a detection grid "
+            f"({', '.join(sorted(GRIDS))}) or a localization grid "
+            f"({', '.join(sorted(LOCALIZE_GRIDS))}); default smoke"
+        ),
+    )
+    parser.add_argument(
+        "--detector",
+        metavar="NAME",
+        default=None,
+        help=(
+            "detection method override: every cell of a detection "
+            "sweep / the monitor session runs under this registered "
+            "detector (default: the grid's/preset's own; builtin "
+            "methods: welford, spectral, persistence)"
         ),
     )
     parser.add_argument(
@@ -388,6 +442,11 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"=== {name} ===")
             print(_COMMANDS[name](ctx, args))
             print()
+    except ReproError as exc:
+        # Unknown grid/detector/preset names and similar user errors
+        # get a one-line message, not a traceback.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     finally:
         # Tear down worker pools / shared arenas before returning so
         # the process exits without leaning on the atexit hook.

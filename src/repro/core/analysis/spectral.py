@@ -27,6 +27,10 @@ from ...trojans.base import SIDEBAND_BLOCK_HARMONIC
 #: Clock-harmonic/offset pairs of the suppressed image sidebands.
 IMAGE_OFFSET_HARMONICS: Tuple[Tuple[int, int], ...] = ((1, -1), (3, +1))
 
+#: Half-width of each noise-floor probe window [Hz] (see
+#: :func:`noise_probe_frequencies`).
+NOISE_PROBE_HALFWIDTH = 500e3
+
 
 def clock_harmonics(config: SimConfig, f_max: float = 120e6) -> List[float]:
     """Clock harmonics inside the display band."""
@@ -151,6 +155,111 @@ def sideband_features_db(
     sb = sideband_amplitudes(freqs, amps, config, halfwidth)
     floor = np.finfo(float).tiny
     return 20.0 * np.log10(np.maximum(sb, floor) / 1e-6)
+
+
+def noise_probe_frequencies(
+    config: SimConfig, f_max: float = 120e6
+) -> List[float]:
+    """Noise-floor probe frequencies [Hz]: midway between harmonics.
+
+    The reference-free detectors (arXiv:2601.20163 / 2603.16058 style)
+    need a noise-floor estimate from the *same* spectrum — no golden
+    model, no self-history.  The probes sit at ``(k + 0.5) * f_clock``
+    (16.5, 49.5, 82.5, 115.5 MHz for the 33 MHz clock): maximally far
+    from every clock harmonic, and — because the Trojan sidebands sit
+    at 15 MHz offsets — at least 1.5 MHz from every sideband and image
+    component, so they see broadband noise only.
+    """
+    probes = []
+    k = 0
+    while (k + 0.5) * config.f_clock <= f_max:
+        probes.append((k + 0.5) * config.f_clock)
+        k += 1
+    return probes
+
+
+def noise_floor_display_bins(
+    grid: np.ndarray,
+    config: SimConfig,
+    halfwidth: float = NOISE_PROBE_HALFWIDTH,
+) -> np.ndarray:
+    """Display bins inside any noise-floor probe window.
+
+    Per-frequency criteria, so restricting a display to any superset
+    of these bins selects exactly the same columns — the partial
+    display evaluation of the runtime monitor stays bit-identical to
+    the full display (same argument as
+    :func:`sideband_display_bins`).
+    """
+    mask = np.zeros(grid.shape, dtype=bool)
+    for probe in noise_probe_frequencies(config, float(grid[-1])):
+        mask |= np.abs(grid - probe) <= halfwidth
+    bins = np.flatnonzero(mask)
+    if bins.size == 0:
+        raise AnalysisError(
+            f"no display bins within {halfwidth/1e3:.0f} kHz of the "
+            "noise-floor probes"
+        )
+    return bins
+
+
+def noise_floor_db(
+    freqs: np.ndarray,
+    amps: np.ndarray,
+    config: SimConfig,
+    halfwidth: float = NOISE_PROBE_HALFWIDTH,
+) -> np.ndarray:
+    """Per-spectrum noise-floor estimate [dBuV], batched.
+
+    The median amplitude over the noise-floor probe bins of each row
+    of an ``(n_spectra, n_points)`` amplitude stack.  The median makes
+    the estimate robust to a stray narrowband component landing inside
+    one probe window.
+    """
+    amps = np.asarray(amps, dtype=float)
+    if amps.ndim != 2:
+        raise AnalysisError("noise_floor_db expects a 2-D stack")
+    bins = noise_floor_display_bins(np.asarray(freqs), config, halfwidth)
+    floor = np.median(amps[:, bins], axis=1)
+    tiny = np.finfo(float).tiny
+    return 20.0 * np.log10(np.maximum(floor, tiny) / 1e-6)
+
+
+def sideband_excess_db(
+    freqs: np.ndarray,
+    amps: np.ndarray,
+    config: SimConfig,
+    halfwidth: float = 250e3,
+) -> np.ndarray:
+    """Reference-free detection statistic: sideband excess [dB], batched.
+
+    The sideband RMS of each spectrum in dB *over that same spectrum's
+    own noise floor* — no golden model, no matched reference workload,
+    no self-baseline history.  An always-on Trojan's sidebands are
+    anomalous from the very first captured window, which is the whole
+    point: the statistic needs no baseline→active transition.
+    """
+    return sideband_features_db(freqs, amps, config, halfwidth) - (
+        noise_floor_db(freqs, amps, config)
+    )
+
+
+def excess_display_bins(
+    grid: np.ndarray,
+    config: SimConfig,
+    halfwidth: float = 250e3,
+) -> np.ndarray:
+    """Display bins :func:`sideband_excess_db` actually reads.
+
+    The union of the sideband bins and the noise-floor probe bins —
+    still a small fraction of the display grid, so the runtime
+    monitor's partial display evaluation stays cheap, and (both masks
+    being per-frequency criteria) bit-identical to the full display.
+    """
+    return np.union1d(
+        sideband_display_bins(grid, config, halfwidth),
+        noise_floor_display_bins(grid, config),
+    )
 
 
 def sideband_feature_db(

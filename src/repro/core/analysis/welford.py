@@ -192,6 +192,23 @@ class DetectorBank:
         """Per-stream warm-up completion mask."""
         return self._moments.count >= self.config.warmup
 
+    def absorb(self, values: np.ndarray) -> None:
+        """Absorb one trace's feature per stream without deciding.
+
+        Every stream takes the sample into its baseline regardless of
+        warm-up state or magnitude — the explicit-fit half of the
+        :class:`~repro.detectors.base.Detector` protocol, for callers
+        that train on a known-clean population before scoring.
+        """
+        values = np.asarray(values, dtype=float)
+        if values.shape != (self.n_streams,):
+            raise AnalysisError(
+                f"expected {self.n_streams} features, got shape {values.shape}"
+            )
+        if not np.all(np.isfinite(values)):
+            raise AnalysisError("non-finite feature in detector input")
+        self._moments.push(values, np.ones(self.n_streams, dtype=bool))
+
     def step(self, values: np.ndarray) -> BankStep:
         """Consume one trace's feature per stream."""
         values = np.asarray(values, dtype=float)

@@ -1,0 +1,42 @@
+"""Detector plugin registry (golden-model-free run-time methods).
+
+One protocol (:class:`~repro.detectors.base.Detector`), three builtin
+methods with deliberately complementary blind spots:
+
+* ``welford`` — the paper's rolling-Welford self-baseline z-score over
+  absolute sideband levels.  Sees every *triggered* Trojan (T1..T4);
+  structurally blind to the always-on family, which it absorbs into
+  its baseline from window 0.
+* ``spectral`` — reference-free sideband excess over the same
+  spectrum's noise floor (after arXiv:2601.20163).  Armed from window
+  0, so it sees the always-on family immediately.
+* ``persistence`` — cross-scale persistence of the sideband excess
+  (after arXiv:2603.16058).  Sees implants that emit on *every*
+  window; structurally blind to activation spans shorter than its
+  coarsest scale.
+
+The comparative detector × Trojan-class sweep grid (``repro sweep
+--grid detectors``) pins this blind-spot structure as a committed
+expected-outcome matrix.
+
+Builtins resolve lazily: importing this package registers their names
+only; the plugin modules import on first
+:func:`~repro.detectors.registry.get`.
+"""
+
+from .base import BankStep, BankTimeline, Detector
+from .registry import available, get, make_detector, register
+
+register("welford", "repro.detectors.welford:WelfordDetector")
+register("spectral", "repro.detectors.spectral:SpectralDetector")
+register("persistence", "repro.detectors.persistence:PersistenceDetector")
+
+__all__ = [
+    "BankStep",
+    "BankTimeline",
+    "Detector",
+    "available",
+    "get",
+    "make_detector",
+    "register",
+]

@@ -1,0 +1,167 @@
+"""The common detector protocol behind the plugin registry.
+
+A detector is two halves glued by one class:
+
+* a **spectral reduction** — which display bins it needs
+  (:meth:`Detector.display_bins`) and how a stack of display spectra
+  becomes one scalar feature per capture (:meth:`Detector.features`).
+  The reduction is stateless; its identity (:attr:`Detector.feature_kind`)
+  keys the sweep's span-feature cache, so detectors sharing a
+  reduction share cached features.
+* a **temporal decision** — a stateful fold over the per-window
+  features of ``n_streams`` parallel sensor streams:
+  :meth:`Detector.fit` absorbs history without deciding,
+  :meth:`Detector.score` scores without absorbing,
+  :meth:`Detector.update` does one full step (score + absorb +
+  debounce) and :meth:`Detector.process` folds a whole feature matrix.
+
+Step/timeline types are shared with the rolling-Welford core
+(:class:`~repro.core.analysis.welford.BankStep` /
+:class:`~repro.core.analysis.welford.BankTimeline`), so every consumer
+— sweep orchestrator, escalation pipeline, fleet — reads any
+detector's output through one shape.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Optional
+
+import numpy as np
+
+from ..config import SimConfig
+from ..core.analysis.welford import BankStep, BankTimeline
+from ..errors import AnalysisError
+
+__all__ = ["BankStep", "BankTimeline", "Detector"]
+
+
+class Detector(ABC):
+    """One detection method over per-sensor spectra windows.
+
+    Parameters
+    ----------
+    n_streams:
+        Parallel feature streams (one per monitored sensor).
+    """
+
+    #: Registry name of the method (``"welford"``, ``"spectral"``, ...).
+    name: str = ""
+
+    #: Identity of the spectral reduction.  Part of the sweep's
+    #: span-feature cache key: detectors with equal ``feature_kind``
+    #: must compute bit-identical :meth:`features`.
+    feature_kind: str = ""
+
+    def __init__(self, n_streams: int):
+        if n_streams < 1:
+            raise AnalysisError("need at least one stream")
+        self.n_streams = n_streams
+
+    # -- spectral reduction (stateless) ----------------------------------------
+
+    @abstractmethod
+    def display_bins(
+        self, grid: np.ndarray, config: SimConfig
+    ) -> np.ndarray:
+        """Display bins :meth:`features` reads (partial-evaluation set).
+
+        Feeding exactly these columns of the display to
+        :meth:`features` must be bit-identical to feeding the full
+        display — the runtime monitor only resamples these bins.
+        """
+
+    @abstractmethod
+    def features(
+        self, freqs: np.ndarray, amps: np.ndarray, config: SimConfig
+    ) -> np.ndarray:
+        """Reduce an ``(n_spectra, n_points)`` display stack to features.
+
+        One scalar per spectrum, in row order.
+        """
+
+    # -- temporal decision (stateful) ------------------------------------------
+
+    @abstractmethod
+    def reset(self) -> None:
+        """Forget all learned state on every stream."""
+
+    @property
+    @abstractmethod
+    def armed(self) -> np.ndarray:
+        """Per-stream bool mask: ready to raise alarms."""
+
+    @abstractmethod
+    def fit(self, values: np.ndarray) -> None:
+        """Absorb one window's features without deciding.
+
+        Reference-free detectors that keep no cross-window model may
+        make this a no-op.
+        """
+
+    @abstractmethod
+    def score(self, values: np.ndarray) -> np.ndarray:
+        """Score one window's features without mutating state.
+
+        NaN for streams that are not armed yet.
+        """
+
+    @abstractmethod
+    def update(self, values: np.ndarray) -> BankStep:
+        """One full step: score, absorb, debounce; returns the step."""
+
+    def step(self, values: np.ndarray) -> BankStep:
+        """Alias of :meth:`update` (the DetectorBank-era spelling)."""
+        return self.update(values)
+
+    def process(self, features: np.ndarray) -> BankTimeline:
+        """Fold a whole ``(n_streams, n_traces)`` feature matrix.
+
+        Decisions are inherently sequential along the trace axis (each
+        conditions the next state), so the fold iterates traces while
+        each :meth:`update` vectorizes across streams — the same
+        contract as :meth:`DetectorBank.process
+        <repro.core.analysis.welford.DetectorBank.process>`.
+        """
+        features = np.asarray(features, dtype=float)
+        if features.ndim == 1:
+            features = features[None, :]
+        if features.ndim != 2 or features.shape[0] != self.n_streams:
+            raise AnalysisError(
+                "expected a (n_streams, n_traces) feature matrix, got "
+                f"shape {features.shape}"
+            )
+        n_traces = features.shape[1]
+        z = np.full((self.n_streams, n_traces), np.nan)
+        armed = np.zeros((self.n_streams, n_traces), dtype=bool)
+        alarms = np.zeros((self.n_streams, n_traces), dtype=bool)
+        for index in range(n_traces):
+            step = self.update(features[:, index])
+            z[:, index] = step.z
+            armed[:, index] = step.armed
+            alarms[:, index] = step.alarm
+        return BankTimeline(z=z, armed=armed, alarms=alarms)
+
+    def _check_values(self, values: np.ndarray) -> np.ndarray:
+        """Validate one window's feature vector (shared by subclasses)."""
+        values = np.asarray(values, dtype=float)
+        if values.shape != (self.n_streams,):
+            raise AnalysisError(
+                f"expected {self.n_streams} features, got shape "
+                f"{values.shape}"
+            )
+        if not np.all(np.isfinite(values)):
+            raise AnalysisError("non-finite feature in detector input")
+        return values
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(name={self.name!r}, "
+            f"n_streams={self.n_streams})"
+        )
+
+
+def first_true(mask: np.ndarray) -> Optional[int]:
+    """Index of the first True (None when all False) — tiny shared util."""
+    hits = np.nonzero(mask)[0]
+    return int(hits[0]) if hits.size else None

@@ -1,0 +1,119 @@
+"""Name → detector-class registry with lazy builtin resolution.
+
+Builtins are registered as ``"module:attr"`` specs and imported only
+when first requested, so ``import repro.detectors`` stays cheap and a
+plugin's import errors surface at :func:`get` time with the detector
+name attached.  Third-party code registers concrete classes directly::
+
+    from repro import detectors
+
+    @detectors.register("my-method")
+    class MyDetector(detectors.Detector):
+        ...
+"""
+
+from __future__ import annotations
+
+import importlib
+from typing import Callable, Dict, List, Optional, Type, Union
+
+from ..core.analysis.detector import DetectorConfig
+from ..errors import AnalysisError
+from .base import Detector
+
+#: Registered factories: a Detector subclass, or a lazy
+#: ``"module:attr"`` spec not yet imported.
+_REGISTRY: Dict[str, Union[str, Type[Detector]]] = {}
+
+
+def register(
+    name: str, factory: Optional[Union[str, Type[Detector]]] = None
+) -> Callable:
+    """Register a detector class (or lazy spec) under ``name``.
+
+    Usable as a plain call — ``register("welford", WelfordDetector)``
+    or ``register("welford", "repro.detectors.welford:WelfordDetector")``
+    — or as a class decorator when ``factory`` is omitted.
+
+    Raises
+    ------
+    AnalysisError
+        If ``name`` is already taken (re-registering under the same
+        name is always a bug: silently replacing a detector would
+        change what every sweep grid and monitor preset means).
+    """
+    if name in _REGISTRY:
+        raise AnalysisError(
+            f"detector name {name!r} is already registered; "
+            "pick a distinct name"
+        )
+
+    def _store(cls: Union[str, Type[Detector]]):
+        _REGISTRY[name] = cls
+        return cls
+
+    if factory is None:
+        return _store
+    return _store(factory)
+
+
+def available() -> List[str]:
+    """Registered detector names, sorted."""
+    return sorted(_REGISTRY)
+
+
+def get(name: str) -> Type[Detector]:
+    """Resolve a detector name to its class.
+
+    Lazy ``"module:attr"`` specs are imported on first use and the
+    resolved class is cached back into the registry.
+
+    Raises
+    ------
+    AnalysisError
+        For unknown names (the message lists what *is* available) and
+        for specs that fail to import or resolve to a non-Detector.
+    """
+    try:
+        entry = _REGISTRY[name]
+    except KeyError:
+        raise AnalysisError(
+            f"unknown detector {name!r}; available detectors: "
+            f"{', '.join(available()) or '(none registered)'}"
+        ) from None
+    if isinstance(entry, str):
+        module_name, _, attr = entry.partition(":")
+        try:
+            module = importlib.import_module(module_name)
+            entry = getattr(module, attr)
+        except (ImportError, AttributeError) as exc:
+            raise AnalysisError(
+                f"detector {name!r} is registered as {_REGISTRY[name]!r} "
+                f"but that spec failed to resolve: {exc}"
+            ) from exc
+        _REGISTRY[name] = entry
+    if not (isinstance(entry, type) and issubclass(entry, Detector)):
+        raise AnalysisError(
+            f"detector {name!r} resolved to {entry!r}, which is not a "
+            "Detector subclass"
+        )
+    return entry
+
+
+def make_detector(
+    name: str,
+    n_streams: int,
+    bank_config: Optional[DetectorConfig] = None,
+) -> Detector:
+    """Instantiate a registered detector for ``n_streams`` streams.
+
+    ``bank_config`` is the rolling-Welford tuning threaded through
+    sweep cells and pipeline configs; it reaches only detectors that
+    declare ``uses_bank_config`` (the ``welford`` plugin).  Reference-
+    free detectors carry their own config dataclasses with calibrated
+    defaults.
+    """
+    cls = get(name)
+    if bank_config is not None and getattr(cls, "uses_bank_config", False):
+        return cls(n_streams, bank_config)
+    return cls(n_streams)

@@ -1,0 +1,97 @@
+"""The rolling-Welford self-baseline detector, as a registry plugin.
+
+A thin protocol adapter around the existing
+:class:`~repro.core.analysis.welford.DetectorBank`: the spectral half
+is the absolute sideband level in dBuV
+(:func:`~repro.core.analysis.spectral.sideband_features_db`), the
+temporal half delegates every decision to the bank unchanged.  The
+registry route is therefore bit-identical to constructing a
+``DetectorBank`` directly — the pin
+``tests/test_detectors.py`` and the sweep/monitor identity tests
+enforce.
+
+This is the paper's detection method, and its structural blind spot is
+the reason the registry exists: a self-baseline learns whatever the
+chip does *first*, so an always-on Trojan (active from the very first
+window) is absorbed into the baseline and never scores anomalous.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..config import SimConfig
+from ..core.analysis.detector import DetectorConfig
+from ..core.analysis.spectral import sideband_display_bins, sideband_features_db
+from ..core.analysis.welford import BankStep, BankTimeline, DetectorBank
+from .base import Detector
+
+
+class WelfordDetector(Detector):
+    """Self-baseline z-score detection over sideband levels.
+
+    Parameters
+    ----------
+    n_streams:
+        Parallel feature streams (one per monitored sensor).
+    config:
+        Rolling-Welford tuning (warm-up, z threshold, debounce).
+    """
+
+    name = "welford"
+    feature_kind = "sideband-db"
+    #: :func:`~repro.detectors.registry.make_detector` forwards the
+    #: sweep/pipeline ``DetectorConfig`` to this class only.
+    uses_bank_config = True
+
+    def __init__(self, n_streams: int, config: Optional[DetectorConfig] = None):
+        super().__init__(n_streams)
+        self._bank = DetectorBank(n_streams, config)
+        self.config = self._bank.config
+
+    # -- spectral reduction ----------------------------------------------------
+
+    def display_bins(self, grid: np.ndarray, config: SimConfig) -> np.ndarray:
+        return sideband_display_bins(grid, config)
+
+    def features(
+        self, freqs: np.ndarray, amps: np.ndarray, config: SimConfig
+    ) -> np.ndarray:
+        return sideband_features_db(freqs, amps, config)
+
+    # -- temporal decision -----------------------------------------------------
+
+    def reset(self) -> None:
+        self._bank.reset()
+
+    @property
+    def armed(self) -> np.ndarray:
+        return self._bank.armed
+
+    def fit(self, values: np.ndarray) -> None:
+        self._bank.absorb(values)
+
+    def score(self, values: np.ndarray) -> np.ndarray:
+        """z-score against the current baseline, without absorbing."""
+        values = self._check_values(values)
+        config = self.config
+        moments = self._bank._moments
+        armed = self._bank.armed
+        z = np.full(self.n_streams, np.nan)
+        live = np.nonzero(armed)[0]
+        if live.size:
+            count = moments.count[live].astype(float)
+            variance = np.maximum(moments.m2[live], 0.0) / (count - 1.0)
+            std = np.maximum(np.sqrt(variance), config.min_std_db)
+            z[live] = (values[live] - moments.mean[live]) / std
+        return z
+
+    def update(self, values: np.ndarray) -> BankStep:
+        return self._bank.step(values)
+
+    def process(self, features: np.ndarray) -> BankTimeline:
+        # Delegate so the registry route runs the bank's own fold —
+        # the same code object as the pre-registry direct path.
+        return self._bank.process(features)

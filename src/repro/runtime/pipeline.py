@@ -5,9 +5,10 @@ The paper's run-time flow as an explicit state machine over a
 
 * **MONITOR** — every window of every monitored stream is featurized
   in one vectorized pass (optional RASC ADC front-end, batched display
-  spectra, sideband feature) and folded through a rolling-Welford
-  :class:`~repro.core.analysis.welford.DetectorBank` — the
-  golden-model-free self-baseline with debounced alarms.
+  spectra, the detector's spectral reduction) and folded through the
+  configured :mod:`repro.detectors` method — the rolling-Welford
+  self-baseline by default, or a reference-free method selected via
+  ``PipelineConfig.detector_name`` / ``repro monitor --detector``.
 * **IDENTIFY** — on the first debounced alarm the pipeline switches to
   the time domain: the alarming window's zero-span envelope goes
   through the :class:`~repro.core.analysis.identifier.TrojanIdentifier`
@@ -44,7 +45,8 @@ from ..core.analysis.spectral import (
     sideband_features_db,
     sideband_frequencies,
 )
-from ..core.analysis.welford import DetectorBank
+from ..detectors import Detector, make_detector
+from ..detectors import available as detectors_available
 from ..errors import AnalysisError
 from ..instruments.adc import AdcSpec, quantize_batch
 from ..instruments.rasc import AUTO_RANGE_HEADROOM, RASC_ADC
@@ -67,28 +69,39 @@ def chunk_features(
     analyzer: SpectrumAnalyzer,
     config: SimConfig,
     adc: Optional[AdcSpec] = None,
+    detector: Optional[Detector] = None,
 ) -> np.ndarray:
-    """Featurize one chunk; ``(n_streams, k)`` sideband features [dB].
+    """Featurize one chunk; ``(n_streams, k)`` detection features [dB].
 
     Optional auto-ranged ADC quantization (the RASC front-end), then
-    one batched display-spectrum + sideband-feature pass.  Every
-    element is a function of that window's samples alone, so the
-    result is independent of how the stream was chunked.
+    one batched display-spectrum + feature pass through the detector's
+    spectral reduction (the absolute sideband level when ``detector``
+    is None — the historical ``welford`` path).  Every element is a
+    function of that window's samples alone, so the result is
+    independent of how the stream was chunked.
 
-    Only the display bins the sideband feature reads are resampled
-    (~1% of the grid); the values are bit-identical to featurizing the
-    full display, see :func:`~repro.core.analysis.spectral
-    .sideband_display_bins`.
+    Only the display bins the detector's feature actually reads are
+    resampled (a few percent of the grid); the values are
+    bit-identical to featurizing the full display, see
+    :func:`~repro.core.analysis.spectral.sideband_display_bins` /
+    :func:`~repro.core.analysis.spectral.excess_display_bins`.
     """
     samples = chunk.samples
     if adc is not None:
         samples = quantize_batch(samples, adc, headroom=AUTO_RANGE_HEADROOM)
     n_streams, k, n_samples = samples.shape
-    bins = sideband_display_bins(analyzer.display_grid(), config)
+    if detector is None:
+        bins = sideband_display_bins(analyzer.display_grid(), config)
+    else:
+        bins = detector.display_bins(analyzer.display_grid(), config)
     grid, display = analyzer.display_bins(
         samples.reshape(-1, n_samples), chunk.fs, bins
     )
-    return sideband_features_db(grid, display, config).reshape(n_streams, k)
+    if detector is None:
+        features = sideband_features_db(grid, display, config)
+    else:
+        features = detector.features(grid, display, config)
+    return features.reshape(n_streams, k)
 
 
 @dataclass(frozen=True)
@@ -98,8 +111,13 @@ class PipelineConfig:
     Attributes
     ----------
     detector:
-        Golden-model-free detector tuning (warm-up, z-threshold,
-        debounce) shared by every monitored stream.
+        Rolling-Welford detector tuning (warm-up, z-threshold,
+        debounce) shared by every monitored stream; consumed by the
+        ``welford`` method (reference-free methods carry their own
+        calibrated defaults).
+    detector_name:
+        Registered detection method driving the MONITOR stage (see
+        :mod:`repro.detectors`).
     quantize:
         Pass windows through the RASC monitor's auto-ranged ADC before
         feature extraction (the deployed-monitor condition).
@@ -124,6 +142,7 @@ class PipelineConfig:
     detector: DetectorConfig = field(
         default_factory=lambda: DetectorConfig(warmup=6)
     )
+    detector_name: str = "welford"
     quantize: bool = True
     adc: AdcSpec = RASC_ADC
     identify: bool = True
@@ -135,6 +154,11 @@ class PipelineConfig:
     def __post_init__(self) -> None:
         if self.localize_records < 1:
             raise AnalysisError("localize_records must be >= 1")
+        if self.detector_name not in detectors_available():
+            raise AnalysisError(
+                f"unknown detector {self.detector_name!r}; available "
+                f"detectors: {', '.join(detectors_available())}"
+            )
 
 
 @dataclass(frozen=True)
@@ -174,6 +198,8 @@ class MonitorReport:
     event_counts:
         Events this session emitted per type (the session's own
         counters even on a fleet-shared bus).
+    detector:
+        Registered detection method that drove the MONITOR stage.
     """
 
     chip: str
@@ -191,6 +217,7 @@ class MonitorReport:
     escalations: int
     final_state: str
     event_counts: dict
+    detector: str = "welford"
 
     @property
     def detected(self) -> bool:
@@ -266,7 +293,9 @@ class EscalationPipeline:
         self.bus = bus or EventBus()
         self.chip = chip
         self.state = MonitorState.MONITOR
-        self._bank = DetectorBank(n_streams, self.pipeline.detector)
+        self._bank = make_detector(
+            self.pipeline.detector_name, n_streams, self.pipeline.detector
+        )
         self._timeline = WindowTimeline(
             self.pipeline.mttd.trace_period(config), n_streams
         )
@@ -374,6 +403,7 @@ class EscalationPipeline:
             self.analyzer,
             self.config,
             adc=self.pipeline.adc if self.pipeline.quantize else None,
+            detector=self._bank,
         )
         for offset in range(chunk.n_windows):
             window = chunk.start + offset
@@ -480,4 +510,5 @@ class EscalationPipeline:
             escalations=self._escalations,
             final_state=self.state.value,
             event_counts=dict(self._event_counts),
+            detector=self.pipeline.detector_name,
         )

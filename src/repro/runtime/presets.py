@@ -40,6 +40,10 @@ class MonitorPreset:
         Windows per rendered chunk.
     warmup:
         Detector warm-up traces.
+    detector_name:
+        Registered detection method of the MONITOR stage (see
+        :mod:`repro.detectors`; the CLI's ``--detector`` overrides
+        this per session).
     localize:
         Run the LOCALIZE stage on escalation.
     localize_records:
@@ -54,6 +58,7 @@ class MonitorPreset:
     n_active: int = 6
     chunk: int = 8
     warmup: int = 6
+    detector_name: str = "welford"
     localize: bool = True
     localize_records: int = 2
     description: str = ""
@@ -66,6 +71,7 @@ class MonitorPreset:
         """Stage tuning of the preset (RASC ADC always in the loop)."""
         return PipelineConfig(
             detector=self.detector(),
+            detector_name=self.detector_name,
             localize=self.localize,
             localize_records=self.localize_records,
         )
@@ -77,9 +83,19 @@ class MonitorPreset:
 
         A single chip (``n_chips=1``) keeps the preset's own Trojan;
         fleets cycle the full catalog so every archetype is monitored.
+
+        The ``welford`` self-baseline calibrates itself per stream, so
+        it watches every sensor.  A reference-free method compares
+        against an absolute threshold calibrated for the run-time
+        monitor sensor's placement — sensors over the AES core see
+        40+ dB of legitimate block-harmonic excess — so those presets
+        monitor that sensor only.
         """
+        from ..sweep.grid import MONITOR_SENSOR
+
         if n_chips < 1:
             raise AnalysisError("need at least one chip")
+        sensors = None if self.detector_name == "welford" else (MONITOR_SENSOR,)
         seed = SimConfig().seed if base_seed is None else base_seed
         specs = []
         for index in range(n_chips):
@@ -95,7 +111,7 @@ class MonitorPreset:
                     seed=seed + index,
                     n_baseline=self.n_baseline,
                     n_active=self.n_active,
-                    sensors=None,  # the always-on monitor watches them all
+                    sensors=sensors,
                     chunk=self.chunk,
                     detector=self.detector(),
                 )

@@ -16,6 +16,8 @@ configurations::
     repro sweep --grid mttd       # Section VI-D MTTD budget
     repro sweep --grid localize   # Section VI-D localization, incl.
                                   # relocated Trojan implants
+    repro sweep --grid detectors  # comparative detector x Trojan-class
+                                  # blind-spot matrix
 
 and ``experiments.table1`` / ``experiments.mttd`` /
 ``experiments.localization`` are thin adapters over the same presets.
@@ -23,12 +25,16 @@ and ``experiments.table1`` / ``experiments.mttd`` /
 
 from .grid import (
     ALL_TROJANS,
+    DETECTOR_NAMES,
+    DETECTOR_TROJANS,
     GRIDS,
     MONITOR_SENSOR,
     SweepCell,
     SweepGrid,
     benchmark_grid,
     build_grid,
+    detectors_grid,
+    detectors_smoke_grid,
     mttd_grid,
     smoke_grid,
     table1_grid,
@@ -57,12 +63,16 @@ from .report import (
 
 __all__ = [
     "ALL_TROJANS",
+    "DETECTOR_NAMES",
+    "DETECTOR_TROJANS",
     "GRIDS",
     "MONITOR_SENSOR",
     "SweepCell",
     "SweepGrid",
     "benchmark_grid",
     "build_grid",
+    "detectors_grid",
+    "detectors_smoke_grid",
     "mttd_grid",
     "smoke_grid",
     "table1_grid",

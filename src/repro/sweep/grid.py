@@ -14,6 +14,7 @@ from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Sequence, Tuple
 
 from ..core.analysis.detector import DetectorConfig
+from ..detectors import available as detectors_available
 from ..errors import AnalysisError
 from ..workloads.campaign import StreamSegment
 from ..workloads.scenarios import reference_for, scenario_by_name
@@ -40,7 +41,12 @@ class SweepCell:
     sensors:
         Sensor subset monitored by the cell (one detector stream each).
     detector:
-        Run-time detector tuning for every stream of the cell.
+        Rolling-Welford detector tuning for every stream of the cell
+        (consumed by the ``welford`` method; reference-free methods
+        carry their own calibrated defaults).
+    detector_name:
+        Registered detection method evaluating the cell (see
+        :mod:`repro.detectors`).
     n_baseline, n_active:
         Span lengths of the monitoring stream; the Trojan activates at
         trace ``n_baseline``.
@@ -61,6 +67,7 @@ class SweepCell:
     reference: str = "auto"
     sensors: Tuple[int, ...] = (MONITOR_SENSOR,)
     detector: DetectorConfig = field(default_factory=DetectorConfig)
+    detector_name: str = "welford"
     n_baseline: int = 8
     n_active: int = 6
     baseline_offset: int = 0
@@ -76,6 +83,11 @@ class SweepCell:
                 self, "reference", reference_for(self.trojan).name
             )
         scenario_by_name(self.reference)
+        if self.detector_name not in detectors_available():
+            raise AnalysisError(
+                f"unknown detector {self.detector_name!r}; available "
+                f"detectors: {', '.join(detectors_available())}"
+            )
         if not self.sensors:
             raise AnalysisError("cell needs at least one sensor")
         if self.n_baseline < 2 or self.n_active < 2:
@@ -87,15 +99,22 @@ class SweepCell:
                 "detector warmup consumes the whole monitoring stream"
             )
         if not self.label:
-            object.__setattr__(
-                self,
-                "label",
-                f"{self.trojan}|{self.reference}@{self.baseline_offset}",
-            )
+            label = f"{self.trojan}|{self.reference}@{self.baseline_offset}"
+            if self.detector_name != "welford":
+                label += f"|{self.detector_name}"
+            object.__setattr__(self, "label", label)
 
     @property
     def trigger_index(self) -> int:
-        """Stream index of the first Trojan-active trace."""
+        """Stream index of the first Trojan-active trace.
+
+        An always-on cell references the Trojan scenario itself (its
+        chip has no Trojan-quiet condition), so the implant is active
+        from the very first trace: any alarm is a true detection, and
+        the MTTD clock starts at stream index 0.
+        """
+        if scenario_by_name(self.reference).always_on:
+            return 0
         return self.n_baseline
 
     @property
@@ -151,38 +170,47 @@ class SweepGrid:
         references: Sequence[Tuple[str, int]] = (("auto", 0),),
         sensor_subsets: Sequence[Tuple[int, ...]] = ((MONITOR_SENSOR,),),
         detectors: Sequence[DetectorConfig] = (DetectorConfig(),),
+        detector_names: Sequence[str] = ("welford",),
         keep_features: bool = True,
         **cell_kwargs,
     ) -> "SweepGrid":
-        """Cartesian grid over {trojan × reference × sensors × config}.
+        """Cartesian grid over {trojan × reference × sensors × detector}.
 
         ``references`` pairs a scenario name with a workload epoch
         offset, so the same reference scenario at different offsets
-        counts as different workload variants.  When an axis has more
-        than one value, it is folded into the auto-derived cell labels
-        so every cell stays addressable by label.
+        counts as different workload variants.  ``detectors`` varies
+        the Welford tuning, ``detector_names`` the detection *method*.
+        When an axis has more than one value, it is folded into the
+        auto-derived cell labels so every cell stays addressable by
+        label (non-``welford`` methods already label themselves).
         """
         cells = []
         for trojan in trojans:
             for reference, offset in references:
                 for subset in sensor_subsets:
                     for position, detector in enumerate(detectors):
-                        suffix = ""
-                        if len(sensor_subsets) > 1:
-                            suffix += "|s" + "-".join(str(s) for s in subset)
-                        if len(detectors) > 1:
-                            suffix += f"|d{position}"
-                        cell = SweepCell(
-                            trojan=trojan,
-                            reference=reference,
-                            baseline_offset=offset,
-                            sensors=tuple(subset),
-                            detector=detector,
-                            **cell_kwargs,
-                        )
-                        if suffix:
-                            cell = replace(cell, label=cell.label + suffix)
-                        cells.append(cell)
+                        for detector_name in detector_names:
+                            suffix = ""
+                            if len(sensor_subsets) > 1:
+                                suffix += "|s" + "-".join(
+                                    str(s) for s in subset
+                                )
+                            if len(detectors) > 1:
+                                suffix += f"|d{position}"
+                            cell = SweepCell(
+                                trojan=trojan,
+                                reference=reference,
+                                baseline_offset=offset,
+                                sensors=tuple(subset),
+                                detector=detector,
+                                detector_name=detector_name,
+                                **cell_kwargs,
+                            )
+                            if suffix:
+                                cell = replace(
+                                    cell, label=cell.label + suffix
+                                )
+                            cells.append(cell)
         return cls(name=name, cells=tuple(cells), keep_features=keep_features)
 
 
@@ -279,12 +307,65 @@ def benchmark_grid() -> SweepGrid:
     return grid
 
 
+#: The detection methods compared by the detector grids, in display
+#: order.
+DETECTOR_NAMES: Tuple[str, ...] = ("welford", "spectral", "persistence")
+
+#: Every Trojan class of the comparative grid: the four triggered
+#: catalog Trojans plus the always-on variant family.
+DETECTOR_TROJANS: Tuple[str, ...] = ALL_TROJANS + ("T1A", "T2A", "TP")
+
+
+def detectors_grid(n_baseline: int = 8, n_active: int = 6) -> SweepGrid:
+    """The comparative detector × Trojan-class grid.
+
+    Every registered builtin method evaluates every Trojan class —
+    the four triggered catalog Trojans and the three always-on
+    variants — over the same quantized monitoring stream as the
+    ``mttd`` grid.  The resulting detected/missed matrix pins each
+    method's structural blind spots (see
+    ``tests/data/detector_grid_expected.json``): the self-baseline
+    misses the always-on family it absorbs, the reference-free
+    methods miss what their excess statistic or persistence horizon
+    cannot see.
+    """
+    return SweepGrid.product(
+        "detectors",
+        trojans=DETECTOR_TROJANS,
+        detectors=(DetectorConfig(warmup=max(2, n_baseline - 2)),),
+        detector_names=DETECTOR_NAMES,
+        keep_features=False,
+        n_baseline=n_baseline,
+        n_active=n_active,
+        active_offset=500,
+        quantize=True,
+    )
+
+
+def detectors_smoke_grid() -> SweepGrid:
+    """CI-sized slice of :func:`detectors_grid`: one triggered Trojan
+    (T1) and one always-on variant (T1A) under every method."""
+    return SweepGrid.product(
+        "detectors-smoke",
+        trojans=("T1", "T1A"),
+        detectors=(DetectorConfig(warmup=4),),
+        detector_names=DETECTOR_NAMES,
+        keep_features=False,
+        n_baseline=6,
+        n_active=4,
+        active_offset=500,
+        quantize=True,
+    )
+
+
 #: Named grid registry (CLI ``repro sweep --grid <name>``).
 GRIDS: Dict[str, Callable[[], SweepGrid]] = {
     "table1": table1_grid,
     "mttd": mttd_grid,
     "smoke": smoke_grid,
     "bench4x4": benchmark_grid,
+    "detectors": detectors_grid,
+    "detectors-smoke": detectors_smoke_grid,
 }
 
 

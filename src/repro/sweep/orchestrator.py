@@ -16,11 +16,19 @@ engine throughput:
    on disk keyed by content, so repeated sweeps across processes
    warm-start bit-identically.
 2. **Featurize** — (optional) auto-ranged RASC ADC quantization, then
-   one batched display-spectrum + sideband-feature pass over every
-   capture of the cell.
-3. **Detect** — a :class:`~repro.core.analysis.welford.DetectorBank`
-   folds the whole feature matrix, one rolling-Welford detector stream
-   per sensor, bit-identical to the sequential ``RuntimeDetector``.
+   one batched display-spectrum + feature pass over every capture of
+   the cell, using the cell's detector's spectral reduction (the
+   sideband level in dBuV for ``welford``, the reference-free sideband
+   excess for ``spectral``/``persistence``).  Feature-cache keys carry
+   the reduction's ``feature_kind``, so methods sharing a reduction
+   share cached spans; the historical ``welford`` kind keeps its
+   pre-registry key shape, so existing on-disk stores stay warm.
+3. **Detect** — the cell's registered detector
+   (:func:`repro.detectors.make_detector`) folds the whole feature
+   matrix, one stream per sensor.  The ``welford`` plugin delegates to
+   :class:`~repro.core.analysis.welford.DetectorBank` unchanged, so
+   the registry route is bit-identical to the pre-registry direct
+   construction.
 4. **Score** — ROC-AUC, detection rate at the cell's operating
    threshold, effect size / required measurements, and MTTD (with
    pre-trigger alarms classified as false alarms).
@@ -28,13 +36,12 @@ engine throughput:
 
 from __future__ import annotations
 
-from typing import MutableMapping, Optional, Tuple
+from typing import Dict, MutableMapping, Optional, Tuple
 
 import numpy as np
 
 from ..core.analysis.mttd import MttdModel, mttd_from_alarm
-from ..core.analysis.spectral import sideband_features_db
-from ..core.analysis.welford import DetectorBank
+from ..detectors import Detector, make_detector
 from ..dsp.stats import detection_power, detection_rate, roc_auc
 from ..instruments.adc import AdcSpec, quantize_batch
 from ..instruments.rasc import AUTO_RANGE_HEADROOM, RASC_ADC
@@ -95,6 +102,7 @@ class DetectionSweep:
         self.store = store
         self._record_cache: MutableMapping[Tuple[str, int], object]
         self._feature_cache: MutableMapping[tuple, np.ndarray]
+        self._reducers: Dict[str, Detector] = {}
         if store is None:
             self._record_cache = {}
             self._feature_cache = {}
@@ -145,32 +153,41 @@ class DetectionSweep:
         from ..engine import RenderPlan
 
         plan = RenderPlan()
+        tickets = {}
         pending = {}
         for cell in cells:
             for segment in cell.segments:
-                key = (
-                    segment.scenario,
-                    segment.n_traces,
-                    segment.index_offset,
-                    cell.sensors,
-                    cell.quantize,
-                )
+                key = self._span_key(segment, cell)
                 if key in pending:
                     continue
                 if self._feature_cache.get(key) is not None:
                     continue
-                ticket = self.campaign.enqueue_stream(
-                    plan,
-                    [segment],
-                    sensors=list(cell.sensors),
-                    record_cache=self._record_cache,
+                # One render per physical span: cells that differ only
+                # in feature kind (or ADC use) share the ticket and
+                # featurize its batch separately.
+                render_key = (
+                    segment.scenario,
+                    segment.n_traces,
+                    segment.index_offset,
+                    cell.sensors,
                 )
-                pending[key] = (ticket, cell.quantize)
+                if render_key not in tickets:
+                    tickets[render_key] = self.campaign.enqueue_stream(
+                        plan,
+                        [segment],
+                        sensors=list(cell.sensors),
+                        record_cache=self._record_cache,
+                    )
+                pending[key] = (render_key, cell.quantize, cell.detector_name)
         if not pending:
             return
         plan.execute()
-        for key, (ticket, quantize) in pending.items():
-            features = self._featurize(ticket.result(), quantize)
+        for key, (render_key, quantize, detector_name) in pending.items():
+            features = self._featurize(
+                tickets[render_key].result(),
+                quantize,
+                self._reducer(detector_name),
+            )
             self._feature_cache[key] = features
 
     # -- per-cell evaluation ---------------------------------------------------
@@ -184,41 +201,68 @@ class DetectionSweep:
         engine's determinism contract plus row-wise featurization).
         """
         blocks = [
-            self._segment_features(segment, cell.sensors, cell.quantize)
+            self._segment_features(segment, cell)
             for segment in cell.segments
         ]
         return np.concatenate(blocks, axis=1)
 
-    def _segment_features(
-        self,
-        segment: StreamSegment,
-        sensors: Tuple[int, ...],
-        quantize: bool,
-    ) -> np.ndarray:
-        """One span's feature block, rendered on first use only.
+    def _reducer(self, detector_name: str) -> Detector:
+        """A method's spectral reduction, shared sweep-wide.
 
-        Cache key = the exact span identity; spans that merely overlap
-        (same scenario, different offset/length) render separately.
+        The reduction half of the protocol is stateless, so one
+        instance per method serves every cell and span.
+        """
+        reducer = self._reducers.get(detector_name)
+        if reducer is None:
+            reducer = make_detector(detector_name, 1)
+            self._reducers[detector_name] = reducer
+        return reducer
+
+    def _span_key(self, segment: StreamSegment, cell: SweepCell) -> tuple:
+        """Feature-cache key of one span under one cell's reduction.
+
+        The historical ``welford`` reduction keeps the pre-registry
+        5-tuple key, so existing persistent stores stay warm; any
+        other ``feature_kind`` appends itself to the key.
         """
         key = (
             segment.scenario,
             segment.n_traces,
             segment.index_offset,
-            sensors,
-            quantize,
+            cell.sensors,
+            cell.quantize,
         )
+        kind = self._reducer(cell.detector_name).feature_kind
+        if kind != "sideband-db":
+            key = key + (kind,)
+        return key
+
+    def _segment_features(
+        self, segment: StreamSegment, cell: SweepCell
+    ) -> np.ndarray:
+        """One span's feature block, rendered on first use only.
+
+        Cache key = the exact span identity plus the feature kind;
+        spans that merely overlap (same scenario, different
+        offset/length) render separately.
+        """
+        key = self._span_key(segment, cell)
         features = self._feature_cache.get(key)
         if features is None:
             batch = self.campaign.collect_stream(
                 [segment],
-                sensors=list(sensors),
+                sensors=list(cell.sensors),
                 record_cache=self._record_cache,
             )
-            features = self._featurize(batch, quantize)
+            features = self._featurize(
+                batch, cell.quantize, self._reducer(cell.detector_name)
+            )
             self._feature_cache[key] = features
         return features
 
-    def _featurize(self, batch, quantize: bool) -> np.ndarray:
+    def _featurize(
+        self, batch, quantize: bool, reducer: Detector
+    ) -> np.ndarray:
         """One rendered span to its read-only feature block [dB]."""
         samples = batch.samples
         if quantize:
@@ -229,7 +273,7 @@ class DetectionSweep:
         grid_freqs, display = self.analyzer.display_matrix(
             samples.reshape(-1, n_samples), batch.fs
         )
-        features = sideband_features_db(
+        features = reducer.features(
             grid_freqs, display, self.config
         ).reshape(n_sensors, n_traces)
         features.flags.writeable = False  # shared across cells
@@ -237,8 +281,10 @@ class DetectionSweep:
 
     def _evaluate(self, cell: SweepCell, keep_features: bool) -> SweepCellResult:
         features = self.cell_features(cell)
-        bank = DetectorBank(len(cell.sensors), cell.detector)
-        timeline = bank.process(features)
+        detector = make_detector(
+            cell.detector_name, len(cell.sensors), cell.detector
+        )
+        timeline = detector.process(features)
         first_alarms = timeline.first_alarms()
         alarm_index = timeline.first_alarm()
         mttd = mttd_from_alarm(
@@ -271,5 +317,6 @@ class DetectionSweep:
             outcomes=tuple(outcomes),
             alarm_index=alarm_index,
             mttd=mttd,
+            detector=cell.detector_name,
             features_db=features if keep_features else None,
         )

@@ -73,6 +73,8 @@ class SweepCellResult:
     mttd:
         Activation-to-alarm latency (false alarms classified, never a
         negative latency).
+    detector:
+        Registered detection method that evaluated the cell.
     features_db:
         The ``(n_sensors, n_traces)`` feature matrix (None when the
         grid drops features).
@@ -87,6 +89,7 @@ class SweepCellResult:
     outcomes: Tuple[SensorOutcome, ...]
     alarm_index: Optional[int]
     mttd: MttdResult
+    detector: str = "welford"
     features_db: Optional[np.ndarray] = None
 
     @property
@@ -113,6 +116,7 @@ class SweepCellResult:
             "label": self.label,
             "trojan": self.trojan,
             "reference": self.reference,
+            "detector": self.detector,
             "sensors": list(self.sensors),
             "n_baseline": self.n_baseline,
             "n_active": self.n_active,
@@ -313,6 +317,29 @@ class SweepReport:
                 return result
         raise AnalysisError(f"sweep report has no cell {label!r}")
 
+    def detection_matrix(self) -> Dict[str, Dict[str, bool]]:
+        """The detector × Trojan-class detected/missed matrix.
+
+        ``matrix[detector][trojan]`` is True when that method's cell
+        truly detected that Trojan class (a false alarm is a miss).
+        This is the structure the committed expectation files under
+        ``tests/data/`` pin — each method's blind spots are load-
+        bearing, so a flip in either direction is a regression.
+        """
+        matrix: Dict[str, Dict[str, bool]] = {}
+        for cell in self.cells:
+            if not isinstance(cell, SweepCellResult):
+                continue
+            row = matrix.setdefault(cell.detector, {})
+            if cell.trojan in row:
+                raise AnalysisError(
+                    f"grid evaluated {cell.trojan!r} twice under "
+                    f"{cell.detector!r}; the detection matrix needs one "
+                    "cell per (detector, trojan) pair"
+                )
+            row[cell.trojan] = cell.success
+        return matrix
+
     def to_dict(self) -> Dict[str, object]:
         """JSON-ready representation of the whole report.
 
@@ -374,6 +401,7 @@ class SweepReport:
             rows.append(
                 (
                     cell.label,
+                    cell.detector,
                     "/".join(str(s) for s in cell.sensors),
                     f"{best.roc_auc:.3f}",
                     f"{best.detection_rate:.0%}",
@@ -390,6 +418,7 @@ class SweepReport:
         return header + format_table(
             [
                 "cell",
+                "detector",
                 "sensors",
                 "ROC-AUC",
                 "det-rate",

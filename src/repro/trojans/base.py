@@ -22,12 +22,21 @@ from __future__ import annotations
 import math
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
+from typing import Dict, Optional
+
 from ..errors import WorkloadError
 from ..netlist.builder import TABLE2_TROJANS
 
 #: Harmonic of the block rate that carries the Trojan sidebands
 #: (5 * 3 MHz = 15 MHz -> sidebands at 48 MHz and 84 MHz).
 SIDEBAND_BLOCK_HARMONIC = 5
+
+#: Cell counts of Trojan variants beyond the paper's Table II (the
+#: always-on family of :mod:`repro.trojans.always_on` registers here).
+#: Kept separate from :data:`~repro.netlist.builder.TABLE2_TROJANS` so
+#: the paper's gate-count accounting (Table II, netlist inventory) is
+#: untouched by model extensions.
+EXTENDED_TROJAN_CELLS: Dict[str, int] = {}
 
 
 @dataclass(frozen=True)
@@ -97,7 +106,8 @@ class Trojan(ABC):
     exactly — invisible, as in the paper.
     """
 
-    #: Trojan name; must match a Table II column.
+    #: Trojan name; must match a Table II column or a registered
+    #: :data:`EXTENDED_TROJAN_CELLS` variant.
     name: str = ""
 
     #: Which clock edge launches the payload's switching: "falling"
@@ -106,14 +116,23 @@ class Trojan(ABC):
     #: (synchronous with the main logic).
     clock_phase: str = "falling"
 
+    #: Floorplan module hosting this Trojan's cells.  None means the
+    #: Trojan has its own placement under its ``name`` (T1..T4);
+    #: variants without a dedicated rect name the host module they are
+    #: fabricated into instead.
+    site: Optional[str] = None
+
     def __init__(self, enabled: bool = False):
-        if self.name not in TABLE2_TROJANS:
+        cells = TABLE2_TROJANS.get(self.name)
+        if cells is None:
+            cells = EXTENDED_TROJAN_CELLS.get(self.name)
+        if cells is None:
             raise WorkloadError(
                 f"Trojan class {type(self).__name__} has invalid name "
                 f"{self.name!r}"
             )
         self.enabled = enabled
-        self.n_cells = TABLE2_TROJANS[self.name]
+        self.n_cells = cells
 
     # -- lifecycle -----------------------------------------------------------
 

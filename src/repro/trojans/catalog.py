@@ -6,6 +6,12 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List
 
 from ..errors import WorkloadError
+from .always_on import (
+    ALWAYS_ON_CELLS,
+    T1AContinuousCarrier,
+    T2AContinuousLeaker,
+    TPParametricDrift,
+)
 from .base import Trojan
 from .t1_am_carrier import T1AmCarrier
 from .t2_leakage import T2KeyLeakInverters
@@ -78,16 +84,53 @@ TROJAN_CATALOG: Dict[str, TrojanInfo] = {
     ),
 }
 
+#: The always-on variant family (see :mod:`repro.trojans.always_on`).
+#: Deliberately separate from :data:`TROJAN_CATALOG`: the fabricated
+#: test chip carries exactly T1..T4, and Table II / the netlist
+#: inventory account only for those.
+VARIANT_CATALOG: Dict[str, TrojanInfo] = {
+    "T1A": TrojanInfo(
+        name="T1A",
+        trust_hub_family="AES-T1800 variant (trigger deleted)",
+        description="T1's 750 kHz AM carrier running continuously",
+        trigger="none — active from power-on",
+        always_on=True,
+        n_cells=ALWAYS_ON_CELLS["T1A"],
+    ),
+    "T2A": TrojanInfo(
+        name="T2A",
+        trust_hub_family="AES-T1600 variant (trigger deleted)",
+        description="key-wire inverter chain leaking on every block",
+        trigger="none — active from power-on",
+        always_on=True,
+        n_cells=ALWAYS_ON_CELLS["T2A"],
+    ),
+    "TP": TrojanInfo(
+        name="TP",
+        trust_hub_family="parametric (dopant-level, no added logic)",
+        description=(
+            "skewed-implant buffer bank whose leakage ramps with "
+            "junction temperature over each window"
+        ),
+        trigger="none — parametric, conducts from power-on",
+        always_on=True,
+        n_cells=ALWAYS_ON_CELLS["TP"],
+    ),
+}
+
 _FACTORIES: Dict[str, Callable[..., Trojan]] = {
     "T1": T1AmCarrier,
     "T2": T2KeyLeakInverters,
     "T3": T3CdmaLeaker,
     "T4": T4DosHeater,
+    "T1A": T1AContinuousCarrier,
+    "T2A": T2AContinuousLeaker,
+    "TP": TPParametricDrift,
 }
 
 
 def make_trojan(name: str, **kwargs) -> Trojan:
-    """Instantiate a Trojan by catalog name."""
+    """Instantiate a Trojan by catalog or variant-catalog name."""
     if name not in _FACTORIES:
         raise WorkloadError(
             f"unknown Trojan {name!r}; expected one of {sorted(_FACTORIES)}"

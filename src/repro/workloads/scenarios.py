@@ -31,6 +31,10 @@ class Scenario:
         ``"random"`` or ``"t2_alternating"``.
     description:
         Human-readable summary.
+    always_on:
+        The scenario's chip carries an always-on implant: there is no
+        Trojan-quiet condition of the *same chip* to reference, so
+        :func:`reference_for` returns the scenario itself.
     """
 
     name: str
@@ -38,6 +42,7 @@ class Scenario:
     idle: bool
     plaintext_policy: str
     description: str
+    always_on: bool = False
 
     def plaintexts(self, n_blocks: int, seed: int) -> List[bytes]:
         """Generate this scenario's plaintext stream for one trace."""
@@ -91,6 +96,33 @@ SCENARIOS: Dict[str, Scenario] = {
         ),
         _scenario("T3", ("T3",), False, "random", "CDMA key leaker enabled"),
         _scenario("T4", ("T4",), False, "random", "DoS heater enabled"),
+        # The always-on variant family: chips fabricated with an
+        # implant that has no trigger or enable, so every window of the
+        # scenario is Trojan-active (see repro.trojans.always_on).
+        Scenario(
+            name="T1A",
+            active=frozenset({"T1A"}),
+            idle=False,
+            plaintext_policy="random",
+            description="continuous AM carrier (T1 variant, no trigger)",
+            always_on=True,
+        ),
+        Scenario(
+            name="T2A",
+            active=frozenset({"T2A"}),
+            idle=False,
+            plaintext_policy="random",
+            description="continuous key-wire leaker (T2 variant, no trigger)",
+            always_on=True,
+        ),
+        Scenario(
+            name="TP",
+            active=frozenset({"TP"}),
+            idle=False,
+            plaintext_policy="random",
+            description="parametric drift implant (leaks from power-on)",
+            always_on=True,
+        ),
     ]
 }
 
@@ -114,9 +146,14 @@ def reference_for(name: str) -> Scenario:
     """The matched-workload Trojan-inactive reference of a scenario.
 
     T2 compares against ``T2_ref`` (same plaintext distribution, payload
-    off); everything else compares against ``baseline``.
+    off); everything else compares against ``baseline``.  An always-on
+    scenario references *itself*: its chip has no Trojan-quiet
+    condition — which is exactly why the rolling-Welford self-baseline
+    cannot see that class and the reference-free detectors exist.
     """
     scenario = scenario_by_name(name)
+    if scenario.always_on:
+        return scenario
     if scenario.name == "T2":
         return SCENARIOS["T2_ref"]
     return SCENARIOS["baseline"]

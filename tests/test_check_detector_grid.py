@@ -1,0 +1,137 @@
+"""The detector-matrix drift gate (tools/check_detector_grid.py)."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+MODULE_PATH = (
+    Path(__file__).parent.parent / "tools" / "check_detector_grid.py"
+)
+spec = importlib.util.spec_from_file_location(
+    "check_detector_grid", MODULE_PATH
+)
+check = importlib.util.module_from_spec(spec)
+spec.loader.exec_module(check)
+
+
+def _cell(detector, trojan, detected, false_alarm=False):
+    return {
+        "kind": "detection",
+        "detector": detector,
+        "trojan": trojan,
+        "mttd": {"detected": detected, "false_alarm": false_alarm},
+    }
+
+
+def _report(cells, grid="detectors-smoke"):
+    return {"grid": grid, "cells": cells}
+
+
+def _write(path, payload):
+    path.write_text(json.dumps(payload), encoding="utf-8")
+    return path
+
+
+EXPECTED = {
+    "grid": "detectors-smoke",
+    "matrix": {
+        "welford": {"T1": True, "T1A": False},
+        "spectral": {"T1": True, "T1A": True},
+    },
+}
+
+MATCHING_CELLS = [
+    _cell("welford", "T1", True),
+    _cell("welford", "T1A", False),
+    _cell("spectral", "T1", True),
+    _cell("spectral", "T1A", True),
+]
+
+
+def test_matrix_from_report_ignores_localization_cells():
+    report = _report(MATCHING_CELLS + [{"kind": "localization"}])
+    assert check.matrix_from_report(report) == EXPECTED["matrix"]
+
+
+def test_exact_match_passes(tmp_path):
+    report = _write(tmp_path / "r.json", _report(MATCHING_CELLS))
+    expected = _write(tmp_path / "e.json", EXPECTED)
+    code, lines = check.run(report, expected)
+    assert code == 0
+    assert "matches" in lines[0]
+
+
+def test_flip_in_either_direction_fails(tmp_path):
+    expected = _write(tmp_path / "e.json", EXPECTED)
+    # A committed miss now detecting is drift too.
+    flipped = [dict(c) for c in MATCHING_CELLS]
+    flipped[1] = _cell("welford", "T1A", True)
+    report = _write(tmp_path / "up.json", _report(flipped))
+    code, lines = check.run(report, expected)
+    assert code == 1
+    assert any("welford x T1A: detected, expected missed" in l for l in lines)
+
+    flipped[1] = _cell("welford", "T1A", False)
+    flipped[2] = _cell("spectral", "T1", False)
+    report = _write(tmp_path / "down.json", _report(flipped))
+    code, lines = check.run(report, expected)
+    assert code == 1
+    assert any("spectral x T1: missed, expected detected" in l for l in lines)
+
+
+def test_missing_and_extra_cells_fail(tmp_path):
+    expected = _write(tmp_path / "e.json", EXPECTED)
+    report = _write(
+        tmp_path / "missing.json", _report(MATCHING_CELLS[:-1])
+    )
+    code, lines = check.run(report, expected)
+    assert code == 1
+    assert any("spectral x T1A: cell missing" in l for l in lines)
+
+    report = _write(
+        tmp_path / "extra.json",
+        _report(MATCHING_CELLS + [_cell("persistence", "T1", False)]),
+    )
+    code, lines = check.run(report, expected)
+    assert code == 1
+    assert any("unexpected detector 'persistence'" in l for l in lines)
+
+
+def test_wrong_grid_and_unreadable_files_fail(tmp_path):
+    expected = _write(tmp_path / "e.json", EXPECTED)
+    report = _write(
+        tmp_path / "wrong.json", _report(MATCHING_CELLS, grid="table1")
+    )
+    code, lines = check.run(report, expected)
+    assert code == 1
+    assert "pins" in lines[0]
+
+    code, lines = check.run(tmp_path / "nope.json", expected)
+    assert code == 1
+    bad = tmp_path / "bad.json"
+    bad.write_text("{not json", encoding="utf-8")
+    code, lines = check.run(bad, expected)
+    assert code == 1
+
+
+def test_duplicate_cell_is_malformed(tmp_path):
+    expected = _write(tmp_path / "e.json", EXPECTED)
+    report = _write(
+        tmp_path / "dup.json",
+        _report(MATCHING_CELLS + [_cell("welford", "T1", True)]),
+    )
+    code, lines = check.run(report, expected)
+    assert code == 1
+    assert "malformed" in lines[0]
+
+
+def test_cli_entry(tmp_path, capsys):
+    report = _write(tmp_path / "r.json", _report(MATCHING_CELLS))
+    expected = _write(tmp_path / "e.json", EXPECTED)
+    assert (
+        check.main(["--report", str(report), "--expected", str(expected)])
+        == 0
+    )
+    assert "matches" in capsys.readouterr().out

@@ -27,12 +27,22 @@ def test_parser_sweep_grid_option():
     assert args.experiment == "sweep"
     assert args.grid == "table1"
     assert args.sweep_json is None
+    assert args.detector is None
     args = build_parser().parse_args(
         ["sweep", "--grid", "mttd", "--sweep-json", "out.json"]
     )
     assert args.sweep_json == "out.json"
-    with pytest.raises(SystemExit):
-        build_parser().parse_args(["sweep", "--grid", "bogus"])
+    # Unknown names parse fine; the command reports them with the list
+    # of known grids at run time (see tests/test_cli_errors.py).
+    args = build_parser().parse_args(["sweep", "--grid", "bogus"])
+    assert args.grid == "bogus"
+
+
+def test_parser_sweep_detector_option():
+    args = build_parser().parse_args(
+        ["sweep", "--grid", "detectors-smoke", "--detector", "spectral"]
+    )
+    assert args.detector == "spectral"
 
 
 def test_parser_monitor_options():
@@ -63,6 +73,9 @@ def test_parser_monitor_options():
     assert args.queue_depth == 3
     assert args.events == "events.jsonl"
     assert args.monitor_json == "fleet.json"
+    assert args.detector is None
+    args = build_parser().parse_args(["monitor", "--detector", "persistence"])
+    assert args.detector == "persistence"
     with pytest.raises(SystemExit):
         build_parser().parse_args(["monitor", "--preset", "bogus"])
 

@@ -345,3 +345,95 @@ def test_stream_shape_guards(campaign):
         LiveSource(campaign, _schedule(), sensors=())
     with pytest.raises(AnalysisError):
         LiveSource(campaign, _schedule(), chunk=0)
+
+
+# -- detector plugins in the MONITOR stage ------------------------------------
+
+
+def test_chunk_features_welford_route_matches_legacy_path(campaign):
+    """``detector=welford`` reproduces the historical direct path."""
+    from repro.detectors import make_detector
+    from repro.instruments.rasc import RASC_ADC
+    from repro.runtime.pipeline import chunk_features
+
+    config = campaign.chip.config
+    analyzer = SpectrumAnalyzer()
+    chunk = next(
+        iter(LiveSource(campaign, _schedule("T1"), chunk=6).chunks())
+    )
+    legacy = chunk_features(chunk, analyzer, config, adc=RASC_ADC)
+    routed = chunk_features(
+        chunk,
+        analyzer,
+        config,
+        adc=RASC_ADC,
+        detector=make_detector("welford", 1),
+    )
+    np.testing.assert_array_equal(legacy, routed)
+
+
+def test_monitor_welford_route_bit_identical_to_direct_bank(campaign):
+    """Registry-routed MONITOR stage == pre-registry featurize + fold."""
+    from repro.core.analysis.welford import DetectorBank
+    from repro.instruments.rasc import RASC_ADC
+    from repro.runtime.pipeline import chunk_features
+
+    config = campaign.chip.config
+    report = _pipeline(config, localize=False).run(
+        LiveSource(campaign, _schedule("T1"), chunk=4)
+    )
+    assert report.detector == "welford"
+    analyzer = SpectrumAnalyzer()
+    blocks = [
+        chunk_features(chunk, analyzer, config, adc=RASC_ADC)
+        for chunk in LiveSource(campaign, _schedule("T1"), chunk=4).chunks()
+    ]
+    features = np.concatenate(blocks, axis=1)
+    timeline = DetectorBank(1, DETECTOR).process(features)
+    np.testing.assert_array_equal(report.features_db, features)
+    assert report.alarms == tuple(
+        np.nonzero(timeline.alarms.any(axis=0))[0].tolist()
+    )
+    assert report.first_alarm == timeline.first_alarm()
+
+
+def test_pipeline_config_rejects_unknown_detector():
+    with pytest.raises(AnalysisError, match="unknown detector"):
+        PipelineConfig(detector_name="bogus")
+
+
+def test_always_on_schedule_has_no_quiet_span():
+    schedule = ActivationSchedule.step("T1A", n_baseline=4, n_active=4)
+    # An always-on chip references itself: every scripted window is
+    # Trojan-active and the trigger is window 0.
+    assert schedule.reference == "T1A"
+    assert schedule.trigger_index == 0
+    assert schedule.trojan == "T1A"
+    for window in range(schedule.n_windows):
+        assert schedule.scenario_at(window) == "T1A"
+
+
+def test_monitor_always_on_blind_spot_and_coverage(campaign):
+    """The self-baseline absorbs an always-on implant; the
+    reference-free plugins see it — the comparative grid's structure,
+    reproduced in the streaming MONITOR stage."""
+    config = campaign.chip.config
+    schedule = ActivationSchedule.step("T1A", n_baseline=6, n_active=4)
+    reports = {}
+    for name in ("welford", "spectral", "persistence"):
+        pipeline = EscalationPipeline(
+            config,
+            n_streams=1,
+            pipeline=PipelineConfig(
+                detector=DETECTOR, detector_name=name, localize=False
+            ),
+        )
+        reports[name] = pipeline.run(
+            LiveSource(campaign, schedule, chunk=4)
+        )
+        assert reports[name].detector == name
+    assert reports["welford"].first_alarm is None
+    assert reports["spectral"].first_alarm is not None
+    assert reports["spectral"].mttd.detected
+    # Persistence needs its coarsest trailing scale (8 windows) filled.
+    assert reports["persistence"].first_alarm == 7

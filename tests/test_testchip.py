@@ -83,3 +83,30 @@ def test_make_trojans_configuration(chip):
 def test_key_must_be_16_bytes():
     with pytest.raises(WorkloadError):
         AesTestChip(b"short", SimConfig())
+
+
+def test_variant_records_deterministic_across_fresh_chips():
+    """Same seed => bit-identical always-on records on fresh chips."""
+    key = bytes(range(16))
+    for name in ("T1A", "T2A", "TP"):
+        a = AesTestChip(key, SimConfig()).run_trace(
+            PLAINTEXTS, active={name}
+        )
+        b = AesTestChip(key, SimConfig()).run_trace(
+            PLAINTEXTS, active={name}
+        )
+        assert np.array_equal(a.main, b.main)
+        assert np.array_equal(a.trojan, b.trojan)
+        assert a.trojan.any()  # the implant is emitting
+
+
+def test_variant_activity_lands_on_parent_site(chip):
+    """A variant's toggles land in its parent implant's region (the
+    ``site`` attribute maps T1A->T1 weights etc.)."""
+    quiet = chip.run_trace(PLAINTEXTS, active=set())
+    for name, site in (("T1A", "T1"), ("T2A", "T2"), ("TP", "T4")):
+        record = chip.run_trace(PLAINTEXTS, active={name})
+        extra = record.trojan - quiet.trojan
+        assert extra.any()
+        by_name = {t.name: t for t in chip.make_trojans({name})}
+        assert by_name[name].site == site

@@ -179,3 +179,83 @@ def test_parameter_validation():
         T3CdmaLeaker(key=b"\x00" * 8)
     with pytest.raises(WorkloadError):
         T4DosHeater(droop_coupling=1.5)
+
+
+# -- always-on variant family (T1A / T2A / TP) --------------------------------
+
+
+def test_variant_catalog_contents():
+    from repro.trojans.always_on import ALWAYS_ON_CELLS, ALWAYS_ON_NAMES
+    from repro.trojans.catalog import VARIANT_CATALOG
+
+    assert tuple(VARIANT_CATALOG) == ALWAYS_ON_NAMES
+    # Deliberately disjoint from Table II: the fabricated chip carries
+    # exactly T1..T4 and the gate-count artifacts account only those.
+    assert not set(VARIANT_CATALOG) & set(TROJAN_CATALOG)
+    for name, info in VARIANT_CATALOG.items():
+        assert info.always_on
+        assert info.n_cells == ALWAYS_ON_CELLS[name]
+        assert "power-on" in info.trigger or "parametric" in info.trigger
+
+
+def test_make_trojan_builds_variants():
+    from repro.trojans.always_on import (
+        T1AContinuousCarrier,
+        T2AContinuousLeaker,
+        TPParametricDrift,
+    )
+
+    kinds = {
+        "T1A": T1AContinuousCarrier,
+        "T2A": T2AContinuousLeaker,
+        "TP": TPParametricDrift,
+    }
+    for name, cls in kinds.items():
+        trojan = make_trojan(name)
+        assert isinstance(trojan, cls)
+        assert trojan.always_on
+        assert trojan.enabled
+    with pytest.raises(WorkloadError):
+        make_trojan("T9")
+
+
+def test_variants_have_no_trigger_and_emit_from_cycle_zero():
+    for name in ("T1A", "T2A", "TP"):
+        trojan = make_trojan(name)
+        emitted = 0.0
+        for cycle in range(0, 44):
+            ctx = _ctx(cycle=cycle)
+            assert trojan.is_active(ctx)
+            assert trojan.trigger_toggles(ctx) == 0.0
+            emitted += trojan.payload_toggles(ctx)
+        assert emitted > 0.0  # leaking within the very first blocks
+
+
+def test_tp_drift_ramps_then_saturates():
+    from repro.trojans.always_on import TPParametricDrift
+
+    trojan = TPParametricDrift(drift_floor=0.2, drift_cycles=128)
+    # Compare equal block phases so only the thermal drift differs.
+    phase_period = 11
+    cold = trojan.payload_toggles(_ctx(cycle=phase_period))
+    warm = trojan.payload_toggles(_ctx(cycle=128 + phase_period))
+    hot = trojan.payload_toggles(_ctx(cycle=1280 + phase_period))
+    assert cold < warm
+    assert warm == pytest.approx(hot)  # saturated past drift_cycles
+
+
+def test_variant_parameter_validation():
+    from repro.trojans.always_on import (
+        T1AContinuousCarrier,
+        T2AContinuousLeaker,
+        TPParametricDrift,
+    )
+
+    with pytest.raises(WorkloadError):
+        T1AContinuousCarrier(payload_fraction=0.0)
+    with pytest.raises(WorkloadError):
+        T2AContinuousLeaker(payload_fraction=1.5)
+    with pytest.raises(WorkloadError):
+        TPParametricDrift(drift_floor=-0.1)
+    with pytest.raises(WorkloadError):
+        TPParametricDrift(drift_cycles=0)

@@ -1,0 +1,135 @@
+#!/usr/bin/env python3
+"""Detector-matrix drift gate: a SweepReport vs a committed expectation.
+
+Rebuilds the detector × Trojan-class detected/missed matrix from a
+``repro sweep --sweep-json`` report and diffs it cell-by-cell against a
+committed expectation file (``tests/data/detector_grid_expected.json``
+or its smoke slice).  Every committed miss is a *structural* blind spot
+of its method, so a flip in either direction fails the gate — a newly
+"detected" cell means the simulated physics or a detector's semantics
+drifted just as surely as a newly missed one.
+
+Usage::
+
+    repro sweep --grid detectors-smoke --no-store \
+        --sweep-json detector-grid.json
+    python tools/check_detector_grid.py --report detector-grid.json \
+        --expected tests/data/detector_grid_smoke_expected.json
+
+Exit status 0 = matrix matches exactly, 1 = drift (or a malformed /
+missing file).  Stdlib only, unit-tested by
+``tests/test_check_detector_grid.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+Matrix = Dict[str, Dict[str, bool]]
+
+
+def matrix_from_report(report: dict) -> Matrix:
+    """Rebuild the detection matrix from a SweepReport JSON payload."""
+    matrix: Matrix = {}
+    for cell in report.get("cells", []):
+        if cell.get("kind") != "detection":
+            continue
+        detector = cell["detector"]
+        trojan = cell["trojan"]
+        row = matrix.setdefault(detector, {})
+        if trojan in row:
+            raise ValueError(
+                f"report evaluates {trojan!r} twice under {detector!r}"
+            )
+        mttd = cell["mttd"]
+        row[trojan] = bool(mttd["detected"])
+    return matrix
+
+
+def diff_matrices(expected: Matrix, actual: Matrix) -> List[str]:
+    """Human-readable drift lines (empty = exact match)."""
+    problems: List[str] = []
+    for detector, row in sorted(expected.items()):
+        actual_row = actual.get(detector)
+        if actual_row is None:
+            problems.append(f"detector {detector!r} missing from report")
+            continue
+        for trojan, want in sorted(row.items()):
+            if trojan not in actual_row:
+                problems.append(
+                    f"{detector} x {trojan}: cell missing from report"
+                )
+            elif actual_row[trojan] != want:
+                verdict = "detected" if actual_row[trojan] else "missed"
+                wanted = "detected" if want else "missed"
+                problems.append(
+                    f"{detector} x {trojan}: {verdict}, expected {wanted}"
+                )
+    for detector in sorted(set(actual) - set(expected)):
+        problems.append(f"unexpected detector {detector!r} in report")
+    for detector in set(actual) & set(expected):
+        for trojan in sorted(set(actual[detector]) - set(expected[detector])):
+            problems.append(
+                f"unexpected cell {detector} x {trojan} in report"
+            )
+    return problems
+
+
+def run(report_path: Path, expected_path: Path) -> Tuple[int, List[str]]:
+    """Load, diff, and return (exit_code, message_lines)."""
+    try:
+        report = json.loads(report_path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        return 1, [f"cannot read report {report_path}: {exc}"]
+    try:
+        expectation = json.loads(expected_path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        return 1, [f"cannot read expectation {expected_path}: {exc}"]
+    grid = expectation.get("grid")
+    if grid is not None and report.get("grid") != grid:
+        return 1, [
+            f"report is for grid {report.get('grid')!r}, "
+            f"expectation pins {grid!r}"
+        ]
+    try:
+        actual = matrix_from_report(report)
+    except (KeyError, TypeError, ValueError) as exc:
+        return 1, [f"malformed report {report_path}: {exc}"]
+    problems = diff_matrices(expectation["matrix"], actual)
+    if problems:
+        return 1, ["detector matrix drift:"] + [
+            f"  {line}" for line in problems
+        ]
+    cells = sum(len(row) for row in actual.values())
+    return 0, [
+        f"detector matrix matches {expected_path.name} "
+        f"({len(actual)} detectors x {cells} cells)"
+    ]
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--report",
+        type=Path,
+        required=True,
+        help="SweepReport JSON produced by repro sweep --sweep-json",
+    )
+    parser.add_argument(
+        "--expected",
+        type=Path,
+        required=True,
+        help="committed expectation JSON (tests/data/...)",
+    )
+    args = parser.parse_args(argv)
+    code, lines = run(args.report, args.expected)
+    print("\n".join(lines), file=sys.stderr if code else sys.stdout)
+    return code
+
+
+if __name__ == "__main__":
+    sys.exit(main())
