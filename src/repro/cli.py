@@ -9,6 +9,8 @@ Usage::
     psa-em sweep --grid smoke --no-store     # pin a cold run
     psa-em monitor --preset smoke
     psa-em monitor --fleet 4 --events fleet.jsonl
+    psa-em serve --preset smoke              # streaming monitor service
+    psa-em serve --selftest                  # headless CI smoke
     psa-em store stats                       # artifact-store admin
     psa-em store gc --max-mb 512
     psa-em store clear
@@ -30,7 +32,7 @@ from typing import Callable, Dict, List, Optional
 
 from .config import BACKEND_NAMES, PRECISION_NAMES, SimConfig
 from .engine import close_backend_sessions
-from .errors import AnalysisError, ReproError
+from .errors import AnalysisError, ReproError, unknown_name_error
 from .experiments.context import ExperimentContext
 from .runtime.presets import MONITOR_PRESETS
 from .store import ArtifactStore
@@ -146,10 +148,10 @@ def _cmd_sweep(ctx: ExperimentContext, args: argparse.Namespace) -> str:
         report = sweep.run(build_localize_grid(args.grid))
     else:
         if args.grid not in GRIDS:
-            raise AnalysisError(
-                f"unknown sweep grid {args.grid!r}; detection grids: "
-                f"{', '.join(sorted(GRIDS))}; localization grids: "
-                f"{', '.join(sorted(LOCALIZE_GRIDS))}"
+            raise unknown_name_error(
+                "sweep grid",
+                args.grid,
+                sorted(GRIDS) + sorted(LOCALIZE_GRIDS),
             )
         grid = build_grid(args.grid)
         if args.detector is not None:
@@ -174,10 +176,7 @@ def _check_detector(name: str) -> None:
     from .detectors import available
 
     if name not in available():
-        raise AnalysisError(
-            f"unknown detector {name!r}; available detectors: "
-            f"{', '.join(available())}"
-        )
+        raise unknown_name_error("detector", name, available())
 
 
 def _cmd_monitor(ctx: ExperimentContext, args: argparse.Namespace) -> str:
@@ -246,6 +245,90 @@ _COMMANDS: Dict[str, Callable[[ExperimentContext, argparse.Namespace], str]] = {
 }
 
 
+def build_engine_parent() -> argparse.ArgumentParser:
+    """Shared ``--backend/--workers/--precision`` flags.
+
+    One parent parser (``add_help=False``) reused by every command
+    that renders through the measurement engine — ``sweep``,
+    ``monitor`` and ``serve`` accept identical engine flags with
+    identical help text.
+    """
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "--backend",
+        choices=BACKEND_NAMES,
+        default="serial",
+        help="measurement-engine execution backend (default serial)",
+    )
+    parent.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="worker count for the process backend (0 = auto)",
+    )
+    parent.add_argument(
+        "--precision",
+        choices=PRECISION_NAMES,
+        default="float64",
+        help=(
+            "engine render precision: float64 (bit-exact reference) or "
+            "float32 (fast path, tolerance-pinned; default float64)"
+        ),
+    )
+    return parent
+
+
+def build_store_parent() -> argparse.ArgumentParser:
+    """Shared ``--store-dir/--no-store`` flags (warm-start control)."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "--store-dir",
+        metavar="PATH",
+        default=None,
+        help=(
+            "artifact-store root for warm-starts "
+            "(default: $REPRO_STORE_DIR, else the user cache dir)"
+        ),
+    )
+    parent.add_argument(
+        "--no-store",
+        action="store_true",
+        help=(
+            "disable the artifact store for this run (guaranteed "
+            "cold start; CI smoke jobs use this to pin cold timings)"
+        ),
+    )
+    return parent
+
+
+def build_detector_parent() -> argparse.ArgumentParser:
+    """Shared ``--detector`` method-override flag."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "--detector",
+        metavar="NAME",
+        default=None,
+        help=(
+            "detection method override: the session/sweep runs under "
+            "this registered detector (default: the grid's/preset's "
+            "own; builtin methods: welford, spectral, persistence)"
+        ),
+    )
+    return parent
+
+
+def build_events_parent() -> argparse.ArgumentParser:
+    """Shared ``--events`` JSONL audit-log flag."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "--events",
+        metavar="PATH",
+        default=None,
+        help="write the session's event log as JSONL to PATH",
+    )
+    return parent
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser."""
     parser = argparse.ArgumentParser(
@@ -254,6 +337,12 @@ def build_parser() -> argparse.ArgumentParser:
             "Regenerate the tables and figures of the PSA EM-sensor "
             "Trojan-detection paper from simulation."
         ),
+        parents=[
+            build_engine_parent(),
+            build_store_parent(),
+            build_detector_parent(),
+            build_events_parent(),
+        ],
     )
     parser.add_argument(
         "experiment",
@@ -267,27 +356,6 @@ def build_parser() -> argparse.ArgumentParser:
         help="traces per population where applicable (default 3)",
     )
     parser.add_argument(
-        "--backend",
-        choices=BACKEND_NAMES,
-        default="serial",
-        help="measurement-engine execution backend (default serial)",
-    )
-    parser.add_argument(
-        "--workers",
-        type=int,
-        default=0,
-        help="worker count for the process backend (0 = auto)",
-    )
-    parser.add_argument(
-        "--precision",
-        choices=PRECISION_NAMES,
-        default="float64",
-        help=(
-            "engine render precision: float64 (bit-exact reference) or "
-            "float32 (fast path, tolerance-pinned; default float64)"
-        ),
-    )
-    parser.add_argument(
         "--grid",
         metavar="NAME",
         default="smoke",
@@ -295,17 +363,6 @@ def build_parser() -> argparse.ArgumentParser:
             "named grid for the sweep command: a detection grid "
             f"({', '.join(sorted(GRIDS))}) or a localization grid "
             f"({', '.join(sorted(LOCALIZE_GRIDS))}); default smoke"
-        ),
-    )
-    parser.add_argument(
-        "--detector",
-        metavar="NAME",
-        default=None,
-        help=(
-            "detection method override: every cell of a detection "
-            "sweep / the monitor session runs under this registered "
-            "detector (default: the grid's/preset's own; builtin "
-            "methods: welford, spectral, persistence)"
         ),
     )
     parser.add_argument(
@@ -342,33 +399,10 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
-        "--events",
-        metavar="PATH",
-        default=None,
-        help="write the monitor session's event log as JSONL to PATH",
-    )
-    parser.add_argument(
         "--monitor-json",
         metavar="PATH",
         default=None,
         help="also write the monitor fleet report as JSON to PATH",
-    )
-    parser.add_argument(
-        "--store-dir",
-        metavar="PATH",
-        default=None,
-        help=(
-            "artifact-store root for sweep/monitor warm-starts "
-            "(default: $REPRO_STORE_DIR, else the user cache dir)"
-        ),
-    )
-    parser.add_argument(
-        "--no-store",
-        action="store_true",
-        help=(
-            "disable the artifact store for this run (guaranteed "
-            "cold start; CI smoke jobs use this to pin cold timings)"
-        ),
     )
     return parser
 
@@ -402,6 +436,186 @@ def build_store_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def build_serve_parser() -> argparse.ArgumentParser:
+    """Parser of the ``repro serve`` subcommand.
+
+    Shares the engine/store/detector/events parent parsers with the
+    main command set, so flags and help text are identical across
+    ``sweep``, ``monitor`` and ``serve``.
+    """
+    parser = argparse.ArgumentParser(
+        prog="psa-em serve",
+        description=(
+            "Run the fleet-scale streaming monitoring service: accept "
+            "chip trace streams over HTTP/WebSocket, monitor each with "
+            "its own escalation pipeline, expose /metrics and per-chip "
+            "reports."
+        ),
+        parents=[
+            build_engine_parent(),
+            build_store_parent(),
+            build_detector_parent(),
+            build_events_parent(),
+        ],
+    )
+    parser.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="bind address (default 127.0.0.1)",
+    )
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=8765,
+        help="bind port (0 picks a free port; default 8765)",
+    )
+    parser.add_argument(
+        "--preset",
+        choices=sorted(MONITOR_PRESETS),
+        default="smoke",
+        help=(
+            "pipeline tuning preset for onboarded chips "
+            "(default smoke)"
+        ),
+    )
+    parser.add_argument(
+        "--queue-depth",
+        type=int,
+        default=4,
+        help="bounded chunk queue per chip session (default 4)",
+    )
+    parser.add_argument(
+        "--high-water",
+        type=int,
+        default=256,
+        metavar="WINDOWS",
+        help=(
+            "service-wide queued-window bound; past it pushed work "
+            "is shed until the backlog drains (default 256)"
+        ),
+    )
+    parser.add_argument(
+        "--analysis-workers",
+        type=int,
+        default=4,
+        help="threads in the shared analysis pool (default 4)",
+    )
+    parser.add_argument(
+        "--selftest",
+        action="store_true",
+        help=(
+            "boot the service, stream one recorded session through "
+            "the replay endpoint, assert an alarm and sane /metrics, "
+            "then exit (the CI serve-smoke job)"
+        ),
+    )
+    return parser
+
+
+def _serve_selftest(service, config: SimConfig) -> str:
+    """Boot, upload one recorded stream, check the outcome.
+
+    The headless CI path: everything in-process, no fixed port, the
+    same client the tests use.
+    """
+    import tempfile
+
+    from .runtime import build_chip_monitor, build_preset, record_stream
+    from .serve import ServiceRunner
+
+    preset = build_preset(service.config.preset)
+    spec = preset.specs(1)[0]
+    monitor = build_chip_monitor(
+        spec, config=config, pipeline_config=service.tuning
+    )
+    with tempfile.TemporaryDirectory(prefix="repro-selftest-") as tmp:
+        path = Path(tmp) / "stream.npz"
+        record_stream(monitor.source, path)
+        with ServiceRunner(service) as runner:
+            client = runner.client(timeout=300)
+            status, report = client.post(
+                "/chips/selftest/replay", path.read_bytes()
+            )
+            if status != 200:
+                raise AnalysisError(
+                    f"selftest replay upload failed: {status} {report}"
+                )
+            if not report.get("detected"):
+                raise AnalysisError(
+                    "selftest stream produced no detection; report: "
+                    f"{json.dumps(report)}"
+                )
+            status, metrics = client.get("/metrics")
+    if status != 200 or metrics.get("alarms_total", 0) < 1:
+        raise AnalysisError(f"selftest metrics are not sane: {metrics}")
+    if metrics["windows_total"] != report["n_windows"]:
+        raise AnalysisError(
+            f"selftest lost windows: processed {metrics['windows_total']} "
+            f"of {report['n_windows']}"
+        )
+    return (
+        f"serve selftest: OK — {report['n_windows']} windows, "
+        f"first alarm @ {report['first_alarm']}, "
+        f"identified {report['identification']['label']}, "
+        f"{metrics['windows_per_sec']:.1f} win/s"
+    )
+
+
+def serve_main(argv: List[str]) -> int:
+    """Entry point of ``repro serve``."""
+    import asyncio
+
+    args = build_serve_parser().parse_args(argv)
+    config = SimConfig().with_(
+        engine_backend=args.backend,
+        engine_workers=args.workers,
+        engine_precision=args.precision,
+    )
+    try:
+        if args.detector is not None:
+            _check_detector(args.detector)
+        from .serve import MonitorService, ServeConfig
+
+        store = _resolve_store(args)
+        service = MonitorService(
+            ServeConfig(
+                host=args.host,
+                port=0 if args.selftest else args.port,
+                preset=args.preset,
+                detector=args.detector,
+                queue_depth=args.queue_depth,
+                high_water_windows=args.high_water,
+                analysis_workers=args.analysis_workers,
+                events_path=None if args.events is None else Path(args.events),
+            ),
+            sim_config=config,
+            store=store,
+        )
+        if args.selftest:
+            print(_serve_selftest(service, config))
+            print(_store_summary(store))
+            return 0
+
+        def announce(svc) -> None:
+            print(
+                f"serve: listening on http://{args.host}:{svc.port} "
+                f"(preset {args.preset}, queue depth "
+                f"{args.queue_depth}, POST /shutdown to stop)",
+                flush=True,
+            )
+
+        try:
+            asyncio.run(service.serve_forever(on_ready=announce))
+        except KeyboardInterrupt:
+            pass
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    finally:
+        close_backend_sessions()
+    return 0
+
+
 def store_main(argv: List[str]) -> int:
     """Entry point of ``repro store {stats,gc,clear}``."""
     args = build_store_parser().parse_args(argv)
@@ -427,6 +641,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         argv = sys.argv[1:]
     if argv and argv[0] == "store":
         return store_main(list(argv[1:]))
+    if argv and argv[0] == "serve":
+        return serve_main(list(argv[1:]))
     args = build_parser().parse_args(argv)
     config = SimConfig().with_(
         engine_backend=args.backend,

@@ -18,7 +18,7 @@ import importlib
 from typing import Callable, Dict, List, Optional, Type, Union
 
 from ..core.analysis.detector import DetectorConfig
-from ..errors import AnalysisError
+from ..errors import AnalysisError, unknown_name_error
 from .base import Detector
 
 #: Registered factories: a Detector subclass, or a lazy
@@ -77,10 +77,7 @@ def get(name: str) -> Type[Detector]:
     try:
         entry = _REGISTRY[name]
     except KeyError:
-        raise AnalysisError(
-            f"unknown detector {name!r}; available detectors: "
-            f"{', '.join(available()) or '(none registered)'}"
-        ) from None
+        raise unknown_name_error("detector", name, available()) from None
     if isinstance(entry, str):
         module_name, _, attr = entry.partition(":")
         try:

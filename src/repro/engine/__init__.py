@@ -27,6 +27,7 @@ from .backends import (
     ExecutionBackend,
     ProcessBackend,
     SerialBackend,
+    backend_session_stats,
     close_backend_sessions,
     resolve_backend,
 )
@@ -47,6 +48,7 @@ __all__ = [
     "ProcessBackend",
     "SerialBackend",
     "SharedMemoryBackend",
+    "backend_session_stats",
     "close_backend_sessions",
     "resolve_backend",
     "TraceBatch",

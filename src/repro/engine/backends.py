@@ -171,6 +171,23 @@ def close_backend_sessions() -> None:
             close()
 
 
+def backend_session_stats() -> List[Dict[str, object]]:
+    """One row per live process-wide backend session.
+
+    Observability hook for long-running deployments (the serve
+    service's ``/metrics`` endpoint): which named backends this
+    process has resolved, and the parallelism each one carries.
+    """
+    return [
+        {
+            "backend": name,
+            "workers": workers,
+            "parallelism": backend.parallelism,
+        }
+        for (name, workers), backend in sorted(_SESSIONS.items())
+    ]
+
+
 atexit.register(close_backend_sessions)
 
 

@@ -54,3 +54,19 @@ class StoreError(ReproError):
 
 class WorkloadError(ReproError):
     """A workload/campaign specification is invalid."""
+
+
+def unknown_name_error(
+    kind: str, name: str, available: "list[str] | tuple[str, ...]"
+) -> AnalysisError:
+    """The one friendly ``unknown <kind>`` error of every registry.
+
+    Every name-keyed catalog (detectors, sweep grids, monitor
+    presets...) raises through this helper, so the CLI's one-line
+    message is byte-identical everywhere: what was asked for, and
+    what actually exists.
+    """
+    catalog = ", ".join(available) or "(none registered)"
+    return AnalysisError(
+        f"unknown {kind} {name!r}; available {kind}s: {catalog}"
+    )

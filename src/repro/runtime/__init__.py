@@ -20,10 +20,13 @@ the batched measurement engine:
 
 from .events import (
     Alarm,
+    Backpressure,
     EventBus,
     JsonlSink,
     MonitorEvent,
     MonitorState,
+    Overload,
+    Shed,
     StateChanged,
     TrojanIdentified,
     TrojanLocalized,
@@ -58,6 +61,9 @@ from .sources import (
 __all__ = [
     "ActivationSchedule",
     "Alarm",
+    "Backpressure",
+    "Overload",
+    "Shed",
     "ChipMonitor",
     "ChipResult",
     "ChipSpec",

@@ -160,6 +160,74 @@ class StateChanged(MonitorEvent):
     current: str
 
 
+@dataclass(frozen=True)
+class Backpressure(MonitorEvent):
+    """A producer found a chip's bounded chunk queue full.
+
+    The shared queue-full contract of the in-process
+    :class:`~repro.runtime.fleet.FleetScheduler` and the serve
+    service's shedding layer: hitting the bound is always announced
+    as a typed event — never a silent stall — so operators can see
+    *which* chips the system is throttling.
+
+    Attributes
+    ----------
+    queue_depth:
+        Configured bound (chunks allowed in the queue).
+    queue_len:
+        Queue occupancy when the producer was refused.
+    action:
+        What the producer did: ``"stall"`` (cooperative scheduler —
+        the chunk waits and is delivered later, nothing is lost) or
+        ``"shed"`` (serve under overload — the chunk is dropped and a
+        :class:`Shed` event follows).
+    """
+
+    queue_depth: int
+    queue_len: int
+    action: str
+
+
+@dataclass(frozen=True)
+class Shed(MonitorEvent):
+    """Windows were dropped under overload (serve's shedding layer).
+
+    Attributes
+    ----------
+    n_windows:
+        Monitoring windows lost with the dropped chunk.
+    reason:
+        Why: ``"queue-full"`` (that chip's bounded queue) or
+        ``"overload"`` (the service-wide high-water mark).
+    """
+
+    n_windows: int
+    reason: str
+
+
+@dataclass(frozen=True)
+class Overload(MonitorEvent):
+    """The service crossed (or left) its global queued-work bound.
+
+    Emitted with ``active=True`` when total queued windows rise past
+    the high-water mark — new work is shed until drained — and again
+    with ``active=False`` on recovery.
+
+    Attributes
+    ----------
+    queued_windows:
+        Total windows queued across every chip at the transition.
+    high_water:
+        The configured service-wide bound.
+    active:
+        True entering overload, False on recovery.
+    """
+
+    queued_windows: int
+    high_water: int
+    active: bool
+
+
 #: Event classes in emission-priority order (schema registry).
 EVENT_TYPES: Tuple[type, ...] = (
     WindowProcessed,
@@ -167,6 +235,9 @@ EVENT_TYPES: Tuple[type, ...] = (
     TrojanIdentified,
     TrojanLocalized,
     StateChanged,
+    Backpressure,
+    Shed,
+    Overload,
 )
 
 _EVENT_BY_NAME: Dict[str, type] = {cls.__name__: cls for cls in EVENT_TYPES}

@@ -27,7 +27,7 @@ from __future__ import annotations
 import time
 from collections import deque
 from dataclasses import dataclass, field, replace
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -39,15 +39,15 @@ from ..core.analysis.localizer import Localizer
 from ..core.array import ProgrammableSensorArray
 from ..errors import AnalysisError
 from ..instruments.spectrum_analyzer import SpectrumAnalyzer
+from ..report import ReportBase, Severity
 from ..store import ArtifactStore
 from ..workloads.campaign import MeasurementCampaign
-from .events import EventBus
+from .events import Backpressure, EventBus
 from .pipeline import EscalationPipeline, MonitorReport, PipelineConfig
 from .sources import (
     DEFAULT_CHUNK_WINDOWS,
     ActivationSchedule,
     LiveSource,
-    StreamChunk,
 )
 
 #: The AES key programmed into every fleet chip.
@@ -219,8 +219,13 @@ class ChipResult:
 
 
 @dataclass(frozen=True)
-class FleetReport:
+class FleetReport(ReportBase):
     """Aggregated outcome of one fleet run.
+
+    Renders through the shared :class:`~repro.report.ReportBase`
+    surface; JSON and table forms are byte-identical to the
+    pre-``repro.report`` formatter (plus the ``backpressure_events``
+    counter of the typed queue-full contract).
 
     Attributes
     ----------
@@ -234,6 +239,9 @@ class FleetReport:
         Scheduler wall-clock time for the whole fleet.
     interleave:
         Chip ids in chunk-processing order (the concurrency trace).
+    backpressure_events:
+        Typed :class:`~repro.runtime.events.Backpressure` events the
+        scheduler emitted (producers throttled at the queue bound).
     """
 
     chips: Tuple[ChipResult, ...]
@@ -241,6 +249,25 @@ class FleetReport:
     max_queue_len: int
     wall_seconds: float
     interleave: Tuple[str, ...]
+    backpressure_events: int = 0
+
+    report_kind = "fleet"
+
+    def severities(self):
+        """One severity per chip, deployment semantics.
+
+        A fleet report grades live chips, so an alarming chip is the
+        finding that demands attention: a true detection is CRITICAL
+        (a Trojan is active on silicon), a false alarm is a WARNING,
+        and a silent chip is OK.
+        """
+        for chip in self.chips:
+            if chip.detected:
+                yield Severity.CRITICAL
+            elif chip.report.mttd is not None and chip.report.mttd.false_alarm:
+                yield Severity.WARNING
+            else:
+                yield Severity.OK
 
     @property
     def n_chips(self) -> int:
@@ -296,6 +323,7 @@ class FleetReport:
             "n_chips": self.n_chips,
             "queue_depth": self.queue_depth,
             "max_queue_len": self.max_queue_len,
+            "backpressure_events": self.backpressure_events,
             "wall_seconds": round(self.wall_seconds, 3),
             "total_windows": self.total_windows,
             "windows_per_sec": round(self.windows_per_sec, 2),
@@ -365,6 +393,47 @@ class FleetReport:
         return "\n".join(lines)
 
 
+_EXHAUSTED = object()
+
+
+class _Peekable:
+    """Iterator with one-item lookahead.
+
+    The scheduler's queue-full contract needs to know whether a
+    producer *has* a next chunk without consuming it — a refused
+    producer must deliver the same chunk on a later tick.
+    """
+
+    def __init__(self, iterable):
+        self._iterator = iter(iterable)
+        self._buffer = _EXHAUSTED
+        self._buffered = False
+
+    def peek(self):
+        """The next item (raises StopIteration when exhausted)."""
+        if not self._buffered:
+            self._buffer = next(self._iterator, _EXHAUSTED)
+            self._buffered = True
+        if self._buffer is _EXHAUSTED:
+            raise StopIteration
+        return self._buffer
+
+    def take(self):
+        """Consume and return the next item."""
+        item = self.peek()
+        self._buffered = False
+        return item
+
+    @property
+    def exhausted(self) -> bool:
+        """Whether the producer has nothing left."""
+        try:
+            self.peek()
+        except StopIteration:
+            return True
+        return False
+
+
 class FleetScheduler:
     """Cooperative round-robin scheduler over independent monitors.
 
@@ -376,7 +445,11 @@ class FleetScheduler:
         Backpressure bound: rendered-but-unprocessed chunks allowed
         per member.  A member whose pipeline falls behind stalls its
         own renderer once the queue is full; other members keep
-        flowing.
+        flowing.  Hitting the bound is never silent: the scheduler
+        emits a typed :class:`~repro.runtime.events.Backpressure`
+        event (``action="stall"``) on the member's bus — the same
+        contract the serve service's shedding layer announces drops
+        with, so one event vocabulary covers both deployments.
     """
 
     def __init__(self, monitors: Sequence[ChipMonitor], queue_depth: int = 2):
@@ -391,6 +464,7 @@ class FleetScheduler:
         self.monitors = list(monitors)
         self.queue_depth = queue_depth
         self.max_queue_len = 0
+        self.backpressure_events = 0
 
     def close(self) -> None:
         """Release every member's backend resources (pools, arenas).
@@ -428,19 +502,21 @@ class FleetScheduler:
             monitor.pipeline.bind(monitor.source)
         # Live sources expose their chunk plan for fused rendering;
         # anything else (e.g. replayed archives) streams chunks
-        # directly — both kinds can share one fleet.
-        spec_producers: List[Optional[Iterator]] = []
-        chunk_producers: List[Optional[Iterator[StreamChunk]]] = []
+        # directly — both kinds can share one fleet.  Producers are
+        # peekable so the queue-full contract can announce a refused
+        # chunk without consuming it.
+        spec_producers: List[Optional[_Peekable]] = []
+        chunk_producers: List[Optional[_Peekable]] = []
         for monitor in self.monitors:
             source = monitor.source
             if hasattr(source, "chunk_specs") and hasattr(
                 source, "enqueue_chunk"
             ):
-                spec_producers.append(iter(source.chunk_specs()))
+                spec_producers.append(_Peekable(source.chunk_specs()))
                 chunk_producers.append(None)
             else:
                 spec_producers.append(None)
-                chunk_producers.append(iter(source.chunks()))
+                chunk_producers.append(_Peekable(source.chunks()))
         queues: List[deque] = [deque() for _ in self.monitors]
         interleave: List[str] = []
         start = time.perf_counter()
@@ -454,27 +530,43 @@ class FleetScheduler:
                 monitor = self.monitors[index]
                 queue = queues[index]
                 space = self.queue_depth - len(queue)
-                if spec_producers[index] is not None:
-                    while space > 0:
-                        try:
-                            spec = next(spec_producers[index])
-                        except StopIteration:
-                            spec_producers[index] = None
-                            break
+                specs = spec_producers[index]
+                chunks = chunk_producers[index]
+                next_start: Optional[int] = None
+                if specs is not None:
+                    while space > 0 and not specs.exhausted:
+                        spec = specs.take()
                         ticket = monitor.source.enqueue_chunk(plan, spec)
                         staged.append((index, spec[0], ticket))
                         space -= 1
-                elif chunk_producers[index] is not None:
-                    while space > 0:
-                        try:
-                            queue.append(next(chunk_producers[index]))
-                        except StopIteration:
-                            chunk_producers[index] = None
-                            break
+                    if not specs.exhausted:
+                        next_start = specs.peek()[0]
+                elif chunks is not None:
+                    while space > 0 and not chunks.exhausted:
+                        queue.append(chunks.take())
                         space -= 1
                         self.max_queue_len = max(
                             self.max_queue_len, len(queue)
                         )
+                    if not chunks.exhausted:
+                        next_start = chunks.peek().start
+                if next_start is not None and space == 0:
+                    # Queue-full: the producer has a chunk ready but
+                    # the bound refuses it.  Cooperative scheduling
+                    # stalls (the chunk waits, nothing is lost) — and
+                    # says so with a typed event instead of silently
+                    # parking the producer.
+                    self.backpressure_events += 1
+                    monitor.pipeline.bus.emit(
+                        Backpressure(
+                            chip=monitor.chip_id,
+                            window=next_start,
+                            time_s=monitor.pipeline.time_of(next_start),
+                            queue_depth=self.queue_depth,
+                            queue_len=self.queue_depth,
+                            action="stall",
+                        )
+                    )
             if len(plan):
                 plan.execute()
             for index, position, ticket in staged:
@@ -489,13 +581,14 @@ class FleetScheduler:
             for index in sorted(pending):
                 monitor = self.monitors[index]
                 queue = queues[index]
+                specs = spec_producers[index]
+                chunks = chunk_producers[index]
                 if queue:
                     chunk = queue.popleft()
                     monitor.pipeline.process_chunk(chunk)
                     interleave.append(monitor.chip_id)
-                elif (
-                    spec_producers[index] is None
-                    and chunk_producers[index] is None
+                elif (specs is None or specs.exhausted) and (
+                    chunks is None or chunks.exhausted
                 ):
                     monitor.report = monitor.pipeline.report(
                         trigger_index=monitor.source.trigger_index
@@ -530,4 +623,5 @@ class FleetScheduler:
             max_queue_len=self.max_queue_len,
             wall_seconds=wall,
             interleave=tuple(interleave),
+            backpressure_events=self.backpressure_events,
         )

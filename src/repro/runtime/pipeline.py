@@ -47,10 +47,11 @@ from ..core.analysis.spectral import (
 )
 from ..detectors import Detector, make_detector
 from ..detectors import available as detectors_available
-from ..errors import AnalysisError
+from ..errors import AnalysisError, unknown_name_error
 from ..instruments.adc import AdcSpec, quantize_batch
 from ..instruments.rasc import AUTO_RANGE_HEADROOM, RASC_ADC
 from ..instruments.spectrum_analyzer import SpectrumAnalyzer
+from ..report import ReportBase, Severity
 from .events import (
     Alarm,
     EventBus,
@@ -155,15 +156,18 @@ class PipelineConfig:
         if self.localize_records < 1:
             raise AnalysisError("localize_records must be >= 1")
         if self.detector_name not in detectors_available():
-            raise AnalysisError(
-                f"unknown detector {self.detector_name!r}; available "
-                f"detectors: {', '.join(detectors_available())}"
+            raise unknown_name_error(
+                "detector", self.detector_name, detectors_available()
             )
 
 
 @dataclass(frozen=True)
-class MonitorReport:
+class MonitorReport(ReportBase):
     """Everything one monitoring session concluded.
+
+    Renders through the shared :class:`~repro.report.ReportBase`
+    surface — the serve service's ``/chips/<id>/report`` endpoint is
+    exactly :meth:`to_json`, not a third formatter.
 
     Attributes
     ----------
@@ -219,10 +223,96 @@ class MonitorReport:
     event_counts: dict
     detector: str = "welford"
 
+    report_kind = "monitor"
+
     @property
     def detected(self) -> bool:
         """An alarm fired at/after the scripted activation."""
         return bool(self.mttd and self.mttd.detected)
+
+    def severities(self):
+        """One finding — this chip — with deployment semantics."""
+        if self.detected:
+            yield Severity.CRITICAL
+        elif self.mttd is not None and self.mttd.false_alarm:
+            yield Severity.WARNING
+        elif self.mttd is None and self.first_alarm is not None:
+            # No scripted trigger to grade against: any alarm on an
+            # unannotated stream still deserves operator attention.
+            yield Severity.CRITICAL
+        else:
+            yield Severity.OK
+
+    def to_dict(self) -> dict:
+        """JSON-ready session summary (the serve report payload).
+
+        The per-window feature matrix stays out — transcripts of
+        window-level detail are the event log's job — but every
+        verdict, latency and escalation outcome is here.
+        """
+        mttd = None
+        if self.mttd is not None:
+            mttd = {
+                "detected": self.mttd.detected,
+                "false_alarm": self.mttd.false_alarm,
+                "traces_to_detect": self.mttd.traces_to_detect,
+                "mttd_s": self.mttd.mttd_s,
+            }
+        identification = None
+        if self.identification is not None:
+            identification = {
+                "label": self.identification.label,
+                "f_probe_hz": self.identification.f_probe,
+            }
+        localization = None
+        if self.localization is not None:
+            localization = {
+                "sensor": self.localization.sensor_index,
+                "quadrant": self.localization.quadrant,
+                "position_m": [float(p) for p in self.localization.position],
+                "margin_db": float(self.localization.margin_db),
+            }
+        return {
+            "chip": self.chip,
+            "detector": self.detector,
+            "sensors": list(self.sensors),
+            "n_windows": self.n_windows,
+            "trace_period_s": self.trace_period_s,
+            "alarms": list(self.alarms),
+            "first_alarm": self.first_alarm,
+            "trigger_index": self.trigger_index,
+            "detected": self.detected,
+            "mttd": mttd,
+            "identification": identification,
+            "localization": localization,
+            "escalations": self.escalations,
+            "final_state": self.final_state,
+            "event_counts": dict(self.event_counts),
+        }
+
+    def format(self) -> str:
+        """One-chip plain-text session summary."""
+        alarm = "-" if self.first_alarm is None else str(self.first_alarm)
+        mttd = "-"
+        if self.mttd is not None and self.mttd.mttd_s is not None:
+            mttd = f"{1e3 * self.mttd.mttd_s:.2f} ms"
+        ident = "-" if self.identification is None else self.identification.label
+        lines = [
+            f"chip {self.chip}: {self.n_windows} windows, "
+            f"detector {self.detector}, final state {self.final_state}",
+            f"  alarms: {len(self.alarms)} (first @ {alarm}) | "
+            f"MTTD {mttd} | identified {ident} | "
+            f"escalations {self.escalations}",
+        ]
+        if self.localization is not None:
+            x, y = self.localization.position
+            lines.append(
+                f"  localized: sensor {self.localization.sensor_index} "
+                f"quadrant {self.localization.quadrant or '-'} at "
+                f"({1e6 * x:.0f}, {1e6 * y:.0f}) um "
+                f"(margin {self.localization.margin_db:.1f} dB)"
+            )
+        return "\n".join(lines)
 
     def state_at(self, window: int, warmup: int) -> str:
         """Human-readable monitor state of one window of the timeline.
@@ -305,6 +395,15 @@ class EscalationPipeline:
         self._escalations = 0
         self._source: Optional[TraceStream] = None
         self._event_counts: dict = {}
+
+    def time_of(self, window: int) -> float:
+        """Session time of one window's verdict [s].
+
+        The timestamp schedulers stamp onto events they emit *about*
+        this pipeline (backpressure, shedding) so a mixed transcript
+        stays on one clock.
+        """
+        return self._timeline.time_of(window)
 
     def _emit(self, event) -> None:
         """Emit onto the bus, counting this pipeline's own events.

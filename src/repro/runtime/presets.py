@@ -14,7 +14,7 @@ from typing import Callable, Dict, Optional, Tuple
 
 from ..config import SimConfig
 from ..core.analysis.detector import DetectorConfig
-from ..errors import AnalysisError
+from ..errors import AnalysisError, unknown_name_error
 from ..store import ArtifactStore
 from .events import EventBus
 from .fleet import ChipMonitor, ChipSpec, FleetScheduler, build_chip_monitor
@@ -155,9 +155,8 @@ MONITOR_PRESETS: Dict[str, MonitorPreset] = {
 def build_preset(name: str) -> MonitorPreset:
     """Look up a named preset."""
     if name not in MONITOR_PRESETS:
-        raise AnalysisError(
-            f"unknown monitor preset {name!r}; expected one of "
-            f"{sorted(MONITOR_PRESETS)}"
+        raise unknown_name_error(
+            "monitor preset", name, sorted(MONITOR_PRESETS)
         )
     return MONITOR_PRESETS[name]
 

@@ -1,0 +1,925 @@
+"""The fleet-scale streaming monitoring service (``repro serve``).
+
+One long-running process watches many chip streams concurrently:
+
+* an **asyncio front-end** (stdlib TCP + the :mod:`.protocol` HTTP/
+  WebSocket codec) accepts replay-archive uploads, live onboarding
+  requests and chunk-streaming sockets;
+* each onboarded chip gets a :class:`ChipSession` — its own
+  :class:`~repro.runtime.pipeline.EscalationPipeline` behind a
+  **bounded** chunk queue, drained by a shared analysis thread pool
+  (feature extraction releases the GIL in NumPy's FFT, so sessions
+  genuinely overlap);
+* ingress is **flow-controlled or shed, never unbounded**: HTTP
+  uploads wait at the queue bound, WebSocket pushes are dropped past
+  it (or past the service-wide high-water mark) with the typed
+  :class:`~repro.runtime.events.Backpressure` /
+  :class:`~repro.runtime.events.Shed` /
+  :class:`~repro.runtime.events.Overload` contract shared with the
+  in-process :class:`~repro.runtime.fleet.FleetScheduler`;
+* ``GET /metrics`` and ``GET /chips/<id>/report`` render through the
+  shared :mod:`repro.report` surface — the service adds transport,
+  not another formatter.
+
+Determinism: a chip session applies no policy of its own between
+chunks, so a clean (unshed) streamed session is **bit-identical** —
+same report, same event transcript — to running the offline
+pipeline over the same archive, which ``tests/test_serve.py`` pins.
+
+Endpoints
+---------
+==========  =========================  =====================================
+``GET``     ``/healthz``               liveness + uptime
+``GET``     ``/metrics``               :class:`~repro.serve.metrics.MetricsSnapshot`
+``GET``     ``/chips``                 per-chip gauges
+``GET``     ``/chips/<id>/report``     the chip's (interim) MonitorReport
+``POST``    ``/chips/<id>/replay``     upload a ``.npz`` archive, stream it
+``POST``    ``/chips/<id>/live``       onboard a server-rendered live chip
+``WS``      ``/chips/<id>/ws``         push packed chunks, pull acks/report
+``POST``    ``/shutdown``              graceful stop (headless deployments)
+==========  =========================  =====================================
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import logging
+import re
+import tempfile
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, replace
+from functools import partial
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from ..config import SimConfig
+from ..engine.backends import backend_session_stats
+from ..errors import AnalysisError, ReproError
+from ..runtime import (
+    Alarm,
+    EscalationPipeline,
+    EventBus,
+    JsonlSink,
+    MonitorReport,
+    ReplaySource,
+    build_chip_monitor,
+    build_preset,
+)
+from ..store import ArtifactStore
+from .metrics import ChipGauge, MetricsSnapshot, ThroughputMeter
+from .protocol import (
+    WS_BINARY,
+    WS_CLOSE,
+    WS_PING,
+    WS_PONG,
+    WS_TEXT,
+    HttpRequest,
+    ProtocolError,
+    json_response,
+    read_request,
+    read_ws_frame,
+    unpack_chunk,
+    websocket_handshake_bytes,
+    ws_frame,
+)
+from .shedding import ChunkShedder, OverloadGuard
+
+logger = logging.getLogger(__name__)
+
+#: Chip ids are path segments and upload file names.
+_CHIP_ID = re.compile(r"^[A-Za-z0-9._-]{1,64}$")
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Tuning of one monitoring service instance.
+
+    Attributes
+    ----------
+    host, port:
+        Bind address (port 0 picks a free port; the bound port is on
+        :attr:`MonitorService.port` after start).
+    preset:
+        Named :class:`~repro.runtime.presets.MonitorPreset` providing
+        pipeline tuning (warm-up, chunking) for onboarded chips.
+    detector:
+        Detection method override (None keeps the preset's).
+    queue_depth:
+        Bounded chunk queue per chip session.
+    high_water_windows:
+        Service-wide queued-window bound; past it, pushed work is
+        shed until the backlog drains below half the mark.
+    analysis_workers:
+        Threads in the shared analysis pool.
+    max_chips:
+        Onboarding bound (503 past it).
+    chunk_windows:
+        Windows per chunk when the service itself chunks a stream
+        (replay uploads).
+    drill_delay_s:
+        Artificial per-chunk analysis delay — the overload drill
+        knob used by tests and capacity rehearsals; 0 in production.
+    events_path:
+        JSONL audit log of every event the service emits (None
+        disables the sink).
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    preset: str = "smoke"
+    detector: Optional[str] = None
+    queue_depth: int = 4
+    high_water_windows: int = 256
+    analysis_workers: int = 4
+    max_chips: int = 1024
+    chunk_windows: int = 16
+    drill_delay_s: float = 0.0
+    events_path: Optional[Path] = None
+
+    def __post_init__(self) -> None:
+        if self.queue_depth < 1:
+            raise AnalysisError("queue_depth must be >= 1")
+        if self.high_water_windows < 1:
+            raise AnalysisError("high_water_windows must be >= 1")
+        if self.analysis_workers < 1:
+            raise AnalysisError("analysis_workers must be >= 1")
+        if self.max_chips < 1:
+            raise AnalysisError("max_chips must be >= 1")
+        build_preset(self.preset)
+
+
+class _LockedBus(EventBus):
+    """An :class:`EventBus` safe for multi-threaded emission.
+
+    Analysis workers emit from pool threads while the event loop
+    emits shed/overload events; one lock keeps counts and sink
+    writes coherent and transcripts serialized.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._lock = threading.RLock()
+
+    def emit(self, event) -> None:
+        with self._lock:
+            super().emit(event)
+
+
+_EOS = "eos"
+_CHUNK = "chunk"
+
+
+class ChipSession:
+    """One chip's server-side monitoring session.
+
+    An :class:`~repro.runtime.pipeline.EscalationPipeline` behind a
+    bounded ``asyncio.Queue``, drained by one consumer task that
+    hands chunks to the service's analysis pool.  All queue-side
+    state (counters, shed bookkeeping) lives on the event loop
+    thread; pipeline state is touched only under :attr:`_plock` from
+    pool threads.
+    """
+
+    def __init__(
+        self,
+        service: "MonitorService",
+        chip_id: str,
+        kind: str,
+        n_streams: int,
+        trigger_index: Optional[int] = None,
+        pipeline: Optional[EscalationPipeline] = None,
+        render_locked: bool = False,
+    ):
+        self.service = service
+        self.chip_id = chip_id
+        self.kind = kind
+        self.n_streams = n_streams
+        self.trigger_index = trigger_index
+        self.render_locked = render_locked
+        self.pipeline = pipeline or EscalationPipeline(
+            service.sim_config,
+            n_streams=n_streams,
+            pipeline=service.tuning,
+            localizer=None,
+            bus=service.bus,
+            chip=chip_id,
+        )
+        self.queue: asyncio.Queue = asyncio.Queue(
+            maxsize=service.config.queue_depth
+        )
+        self.windows = 0
+        self.queued_windows = 0
+        self.sheds = 0
+        self.dropped_windows = 0
+        self.done = asyncio.Event()
+        self.report: Optional[MonitorReport] = None
+        self.error: Optional[str] = None
+        self._plock = threading.Lock()
+        self.consumer = asyncio.create_task(self._consume())
+
+    # -- ingress (event loop thread) --------------------------------------
+
+    def _rebased(self, chunk):
+        """Shift a chunk's start down by the windows shed before it."""
+        if not self.dropped_windows:
+            return chunk
+        return replace(chunk, start=chunk.start - self.dropped_windows)
+
+    def offer(self, chunk) -> Tuple[bool, Optional[str]]:
+        """Fire-and-forget ingress (WebSocket push): admit or shed."""
+        reason = self.service.shedder.should_shed(
+            self.queue.qsize(), self.service.config.queue_depth
+        )
+        if reason is not None:
+            self.sheds += 1
+            self.dropped_windows += chunk.n_windows
+            self.service.shedder.announce(
+                self.chip_id,
+                chunk.start,
+                chunk.n_windows,
+                reason,
+                self.queue.qsize(),
+                self.service.config.queue_depth,
+                self.service.uptime(),
+            )
+            return False, reason
+        self._admit(chunk)
+        return True, None
+
+    async def put(self, chunk) -> None:
+        """Flow-controlled ingress (HTTP upload): wait at the bound."""
+        adjusted = self._rebased(chunk)
+        await self.queue.put((_CHUNK, adjusted, None))
+        self._note_admitted(adjusted)
+
+    def _admit(self, chunk) -> None:
+        adjusted = self._rebased(chunk)
+        self.queue.put_nowait((_CHUNK, adjusted, None))
+        self._note_admitted(adjusted)
+
+    def _note_admitted(self, chunk) -> None:
+        self.queued_windows += chunk.n_windows
+        self.service.guard.note_enqueued(
+            chunk.n_windows, self.service.uptime()
+        )
+
+    async def drain(
+        self, trigger_index: Optional[int] = None
+    ) -> MonitorReport:
+        """Finalize: process everything queued, snapshot the report."""
+        if trigger_index is not None:
+            self.trigger_index = trigger_index
+        flushed = asyncio.Event()
+        await self.queue.put((_EOS, self.trigger_index, flushed))
+        await flushed.wait()
+        if self.error is not None:
+            raise AnalysisError(
+                f"chip {self.chip_id} session failed: {self.error}"
+            )
+        return self.report
+
+    # -- analysis (consumer task + pool threads) --------------------------
+
+    def _process(self, chunk) -> None:
+        """Run one chunk through the pipeline (pool thread)."""
+        if self.render_locked:
+            with self.service.render_lock:
+                with self._plock:
+                    self.pipeline.process_chunk(chunk)
+        else:
+            with self._plock:
+                self.pipeline.process_chunk(chunk)
+
+    def snapshot_report(
+        self, trigger_index: Optional[int] = None
+    ) -> MonitorReport:
+        """The session report so far (safe against in-flight chunks)."""
+        with self._plock:
+            return self.pipeline.report(
+                trigger_index=(
+                    self.trigger_index
+                    if trigger_index is None
+                    else trigger_index
+                )
+            )
+
+    async def _consume(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            kind, payload, flushed = await self.queue.get()
+            try:
+                if kind == _EOS:
+                    self.report = await loop.run_in_executor(
+                        self.service.executor,
+                        partial(self.snapshot_report, payload),
+                    )
+                    self.done.set()
+                    continue
+                if self.service.config.drill_delay_s > 0:
+                    await asyncio.sleep(self.service.config.drill_delay_s)
+                try:
+                    await loop.run_in_executor(
+                        self.service.executor, partial(self._process, payload)
+                    )
+                    self.windows += payload.n_windows
+                    self.service.meter.record(payload.n_windows)
+                except ReproError as exc:
+                    self.error = str(exc)
+                    logger.warning(
+                        "chip %s: chunk rejected: %s", self.chip_id, exc
+                    )
+                finally:
+                    self.queued_windows -= payload.n_windows
+                    self.service.guard.note_dequeued(
+                        payload.n_windows, self.service.uptime()
+                    )
+            finally:
+                if flushed is not None:
+                    flushed.set()
+                self.queue.task_done()
+
+    def gauge(self) -> ChipGauge:
+        """This session's ``/metrics`` row."""
+        report = self.report
+        mttd_ms = None
+        if report is not None and report.mttd and report.mttd.mttd_s:
+            mttd_ms = round(1e3 * report.mttd.mttd_s, 3)
+        return ChipGauge(
+            chip=self.chip_id,
+            kind=self.kind,
+            state=self.pipeline.state.value,
+            windows=self.windows,
+            queue_len=self.queue.qsize(),
+            queued_windows=self.queued_windows,
+            sheds=self.sheds,
+            dropped_windows=self.dropped_windows,
+            alarms=self.service.alarm_count(self.chip_id),
+            first_alarm=self.service.first_alarm(self.chip_id),
+            mttd_ms=mttd_ms,
+            done=self.done.is_set(),
+        )
+
+    async def close(self) -> None:
+        """Cancel the consumer task (service shutdown)."""
+        self.consumer.cancel()
+        try:
+            await self.consumer
+        except asyncio.CancelledError:
+            pass
+
+
+class MonitorService:
+    """The serve application: sessions, routing, metrics, shedding.
+
+    Parameters
+    ----------
+    config:
+        Service tuning.
+    sim_config:
+        Simulation config backing onboarded pipelines (feature
+        bookkeeping, timing; live chips render through it).
+    store:
+        Optional :class:`~repro.store.ArtifactStore` — live chips
+        warm-start their activity records from it, and its counters
+        surface in ``/metrics``.
+    """
+
+    def __init__(
+        self,
+        config: Optional[ServeConfig] = None,
+        sim_config: Optional[SimConfig] = None,
+        store: Optional[ArtifactStore] = None,
+    ):
+        self.config = config or ServeConfig()
+        self.sim_config = sim_config or SimConfig()
+        self.store = store
+        self.preset = build_preset(self.config.preset)
+        tuning = self.preset.pipeline_config()
+        if self.config.detector is not None:
+            tuning = replace(tuning, detector_name=self.config.detector)
+        self.tuning = tuning
+        self.bus: EventBus = _LockedBus()
+        self._sink: Optional[JsonlSink] = None
+        if self.config.events_path is not None:
+            self._sink = JsonlSink(self.config.events_path)
+            self.bus.subscribe(self._sink)
+        self.meter = ThroughputMeter()
+        self.guard = OverloadGuard(self.bus, self.config.high_water_windows)
+        self.shedder = ChunkShedder(self.bus, self.guard)
+        self.executor = ThreadPoolExecutor(
+            max_workers=self.config.analysis_workers,
+            thread_name_prefix="serve-analysis",
+        )
+        self.render_lock = threading.Lock()
+        self.sessions: Dict[str, ChipSession] = {}
+        self._alarms: Dict[str, int] = {}
+        self._first_alarms: Dict[str, int] = {}
+        self.bus.subscribe(self._on_event)
+        self._uploads = tempfile.TemporaryDirectory(prefix="repro-serve-")
+        self._producers: List[asyncio.Task] = []
+        self._conn_tasks: set = set()
+        self._started = time.monotonic()
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._stop_requested: Optional[asyncio.Event] = None
+        self.port: Optional[int] = None
+
+    # -- bookkeeping ------------------------------------------------------
+
+    def uptime(self) -> float:
+        """Seconds since the service object was created."""
+        return time.monotonic() - self._started
+
+    def _on_event(self, event) -> None:
+        if isinstance(event, Alarm):
+            self._alarms[event.chip] = self._alarms.get(event.chip, 0) + 1
+            self._first_alarms.setdefault(event.chip, event.window)
+
+    def alarm_count(self, chip_id: str) -> int:
+        """Alarm events one chip has emitted."""
+        return self._alarms.get(chip_id, 0)
+
+    def first_alarm(self, chip_id: str) -> Optional[int]:
+        """One chip's first alarming window (None = silent)."""
+        return self._first_alarms.get(chip_id)
+
+    def metrics(self) -> MetricsSnapshot:
+        """The ``/metrics`` snapshot, assembled on the loop thread."""
+        store = None
+        if self.store is not None:
+            store = {
+                "hits": self.store.hits,
+                "misses": self.store.misses,
+                "writes": self.store.writes,
+            }
+        return MetricsSnapshot(
+            uptime_s=self.uptime(),
+            n_chips=len(self.sessions),
+            windows_total=self.meter.total,
+            windows_per_sec=self.meter.rate(),
+            recent_windows_per_sec=self.meter.recent_rate(),
+            alarms_total=self.bus.counts.get("Alarm", 0),
+            sheds_total=self.shedder.sheds,
+            backpressure_total=self.bus.counts.get("Backpressure", 0),
+            overload_active=self.guard.active,
+            queued_windows=self.guard.queued_windows,
+            high_water_windows=self.guard.high_water,
+            event_counts=dict(self.bus.counts),
+            chips=tuple(
+                session.gauge() for session in self.sessions.values()
+            ),
+            engine_sessions=tuple(backend_session_stats()),
+            store=store,
+        )
+
+    def _check_onboarding(self, chip_id: str) -> None:
+        """Reject bad/duplicate chip ids before any expensive work.
+
+        Also the path-safety gate: the id becomes an upload file name,
+        so it must stay a single plain path segment.
+        """
+        if not _CHIP_ID.match(chip_id):
+            raise AnalysisError(
+                f"invalid chip id {chip_id!r}; expected 1-64 characters "
+                "from [A-Za-z0-9._-]"
+            )
+        if chip_id in self.sessions:
+            raise AnalysisError(f"chip {chip_id!r} is already onboarded")
+        if len(self.sessions) >= self.config.max_chips:
+            raise AnalysisError(
+                f"service is at its {self.config.max_chips}-chip bound"
+            )
+
+    def _new_session(self, chip_id: str, **kwargs) -> ChipSession:
+        self._check_onboarding(chip_id)
+        session = ChipSession(self, chip_id, **kwargs)
+        self.sessions[chip_id] = session
+        return session
+
+    # -- lifecycle --------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind the listener (port 0 resolves to the chosen port)."""
+        self._stop_requested = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._handle_conn, self.config.host, self.config.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        """Graceful shutdown: listener, producers, sessions, pool."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for task in list(self._producers) + list(self._conn_tasks):
+            task.cancel()
+        for task in list(self._producers) + list(self._conn_tasks):
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):
+                pass
+        self._producers.clear()
+        self._conn_tasks.clear()
+        for session in self.sessions.values():
+            await session.close()
+        self.executor.shutdown(wait=True)
+        if self._sink is not None:
+            self._sink.close()
+        self._uploads.cleanup()
+
+    async def serve_forever(self, on_ready=None) -> None:
+        """Run until ``POST /shutdown`` (or cancellation).
+
+        ``on_ready(service)`` is called once the listener is bound —
+        the CLI prints the resolved address through it.
+        """
+        await self.start()
+        if on_ready is not None:
+            on_ready(self)
+        try:
+            await self._stop_requested.wait()
+        finally:
+            await self.stop()
+
+    # -- connection handling ----------------------------------------------
+
+    async def _handle_conn(self, reader, writer) -> None:
+        task = asyncio.current_task()
+        self._conn_tasks.add(task)
+        try:
+            while True:
+                try:
+                    request = await read_request(reader)
+                except ProtocolError as exc:
+                    writer.write(
+                        json_response(
+                            400, {"error": str(exc)}, keep_alive=False
+                        )
+                    )
+                    await writer.drain()
+                    break
+                if request is None:
+                    break
+                if request.wants_websocket:
+                    await self._handle_ws(request, reader, writer)
+                    break
+                response = await self._dispatch(request)
+                writer.write(response)
+                await writer.drain()
+                if not request.keep_alive:
+                    break
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        except asyncio.CancelledError:
+            # Service shutdown cancels live connections; ending the
+            # handler normally keeps asyncio's stream-protocol done
+            # callback from logging the cancellation as an error.
+            pass
+        finally:
+            self._conn_tasks.discard(task)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _dispatch(self, request: HttpRequest) -> bytes:
+        parts = [p for p in request.path.split("/") if p]
+        try:
+            if request.method == "GET":
+                if parts == ["healthz"]:
+                    return json_response(
+                        200, {"ok": True, "uptime_s": self.uptime()}
+                    )
+                if parts == ["metrics"]:
+                    return json_response(200, self.metrics().to_dict())
+                if parts == ["chips"]:
+                    return json_response(
+                        200,
+                        {
+                            "chips": [
+                                s.gauge().to_dict()
+                                for s in self.sessions.values()
+                            ]
+                        },
+                    )
+                if len(parts) == 3 and parts[0] == "chips":
+                    return await self._get_chip(parts[1], parts[2])
+            elif request.method == "POST":
+                if parts == ["shutdown"]:
+                    self._stop_requested.set()
+                    return json_response(
+                        200, {"ok": True}, keep_alive=False
+                    )
+                if len(parts) == 3 and parts[0] == "chips":
+                    if parts[2] == "replay":
+                        return await self._post_replay(parts[1], request)
+                    if parts[2] == "live":
+                        return await self._post_live(parts[1], request)
+                return json_response(
+                    404, {"error": f"no route for {request.path}"}
+                )
+            else:
+                return json_response(
+                    405, {"error": f"method {request.method} not allowed"}
+                )
+        except ReproError as exc:
+            status = 409 if "already onboarded" in str(exc) else 400
+            return json_response(status, {"error": str(exc)})
+        except Exception as exc:  # a handler bug must not kill the socket
+            logger.exception("unhandled error serving %s", request.path)
+            return json_response(500, {"error": str(exc)})
+        return json_response(
+            404, {"error": f"no route for {request.path}"}
+        )
+
+    async def _get_chip(self, chip_id: str, leaf: str) -> bytes:
+        session = self.sessions.get(chip_id)
+        if session is None:
+            return json_response(
+                404, {"error": f"unknown chip {chip_id!r}"}
+            )
+        if leaf != "report":
+            return json_response(404, {"error": f"no route for {leaf!r}"})
+        if session.done.is_set() and session.report is not None:
+            report = session.report
+        else:
+            loop = asyncio.get_running_loop()
+            report = await loop.run_in_executor(
+                self.executor, session.snapshot_report
+            )
+        return json_response(200, report.to_dict())
+
+    # -- replay upload (flow-controlled HTTP ingress) ---------------------
+
+    async def _post_replay(
+        self, chip_id: str, request: HttpRequest
+    ) -> bytes:
+        self._check_onboarding(chip_id)
+        if not request.body:
+            raise AnalysisError("replay upload needs a .npz archive body")
+        loop = asyncio.get_running_loop()
+        path = Path(self._uploads.name) / f"{chip_id}.npz"
+        path.write_bytes(request.body)
+        batch = int(
+            request.query.get("batch", str(self.config.chunk_windows))
+        )
+        try:
+            source = await loop.run_in_executor(
+                self.executor, partial(ReplaySource, path, batch)
+            )
+        except (ValueError, OSError, KeyError) as exc:
+            raise AnalysisError(
+                f"replay upload is not a readable trace archive: {exc}"
+            ) from exc
+        session = self._new_session(
+            chip_id,
+            kind="replay",
+            n_streams=source.n_streams,
+            trigger_index=source.trigger_index,
+        )
+        iterator = source.chunks()
+        while True:
+            chunk = await loop.run_in_executor(
+                self.executor, partial(next, iterator, None)
+            )
+            if chunk is None:
+                break
+            await session.put(chunk)
+        report = await session.drain(source.trigger_index)
+        return json_response(200, report.to_dict())
+
+    # -- live onboarding (server-side rendering) --------------------------
+
+    async def _post_live(self, chip_id: str, request: HttpRequest) -> bytes:
+        body = json.loads(request.body.decode("utf-8") or "{}")
+        loop = asyncio.get_running_loop()
+        base = self.preset.specs(1, base_seed=self.sim_config.seed)[0]
+        spec = replace(
+            base,
+            chip_id=chip_id,
+            trojan=str(body.get("trojan", base.trojan)),
+            seed=int(body.get("seed", base.seed)),
+        )
+        self._check_onboarding(chip_id)
+        monitor = await loop.run_in_executor(
+            self.executor,
+            partial(
+                build_chip_monitor,
+                spec,
+                config=self.sim_config,
+                pipeline_config=self.tuning,
+                bus=self.bus,
+                store=self.store,
+            ),
+        )
+        warm = 0
+        if self.store is not None:
+            warm = await loop.run_in_executor(
+                self.executor, self._render_call, monitor.source.warm_records
+            )
+        monitor.pipeline.bind(monitor.source)
+        session = self._new_session(
+            chip_id,
+            kind="live",
+            n_streams=monitor.source.n_streams,
+            trigger_index=monitor.source.trigger_index,
+            pipeline=monitor.pipeline,
+            render_locked=True,
+        )
+        self._producers.append(
+            asyncio.create_task(self._produce_live(session, monitor))
+        )
+        return json_response(
+            200,
+            {
+                "chip": chip_id,
+                "kind": "live",
+                "trojan": spec.trojan,
+                "windows_scheduled": monitor.source.n_windows,
+                "trigger_index": monitor.source.trigger_index,
+                "warm_records": warm,
+            },
+        )
+
+    def _render_call(self, fn):
+        """Run an engine-rendering callable under the render lock."""
+        with self.render_lock:
+            return fn()
+
+    async def _produce_live(self, session: ChipSession, monitor) -> None:
+        loop = asyncio.get_running_loop()
+        iterator = monitor.source.chunks()
+        while True:
+            chunk = await loop.run_in_executor(
+                self.executor,
+                partial(self._render_call, partial(next, iterator, None)),
+            )
+            if chunk is None:
+                break
+            await session.put(chunk)
+        await session.drain(monitor.source.trigger_index)
+
+    # -- websocket streaming (push ingress with shedding) -----------------
+
+    async def _handle_ws(self, request: HttpRequest, reader, writer) -> None:
+        parts = [p for p in request.path.split("/") if p]
+        if len(parts) != 3 or parts[0] != "chips" or parts[2] != "ws":
+            writer.write(
+                json_response(
+                    404,
+                    {"error": f"no websocket route for {request.path}"},
+                    keep_alive=False,
+                )
+            )
+            await writer.drain()
+            return
+        chip_id = parts[1]
+        writer.write(websocket_handshake_bytes(request))
+        await writer.drain()
+
+        async def send_json(payload: object) -> None:
+            writer.write(
+                ws_frame(
+                    json.dumps(payload).encode("utf-8"), opcode=WS_TEXT
+                )
+            )
+            await writer.drain()
+
+        session: Optional[ChipSession] = None
+        while True:
+            try:
+                frame = await read_ws_frame(reader)
+            except (ProtocolError, asyncio.IncompleteReadError):
+                break
+            if frame is None:
+                break
+            opcode, payload = frame
+            if opcode == WS_CLOSE:
+                writer.write(ws_frame(b"", opcode=WS_CLOSE))
+                await writer.drain()
+                break
+            if opcode == WS_PING:
+                writer.write(ws_frame(payload, opcode=WS_PONG))
+                await writer.drain()
+                continue
+            try:
+                if opcode == WS_TEXT:
+                    message = json.loads(payload.decode("utf-8"))
+                    op = message.get("op")
+                    if op == "hello":
+                        if session is not None:
+                            raise AnalysisError(
+                                "session already established on this socket"
+                            )
+                        session = self._new_session(
+                            chip_id,
+                            kind="ws",
+                            n_streams=int(message.get("n_streams", 1)),
+                            trigger_index=message.get("trigger_index"),
+                        )
+                        await send_json({"op": "hello", "chip": chip_id})
+                    elif op == "end":
+                        if session is None:
+                            raise AnalysisError("end before hello")
+                        report = await session.drain(
+                            message.get("trigger_index")
+                        )
+                        await send_json(
+                            {"op": "report", "report": report.to_dict()}
+                        )
+                    elif op == "metrics":
+                        await send_json(
+                            {
+                                "op": "metrics",
+                                "metrics": self.metrics().to_dict(),
+                            }
+                        )
+                    else:
+                        raise AnalysisError(f"unknown ws op {op!r}")
+                elif opcode == WS_BINARY:
+                    if session is None:
+                        raise AnalysisError("chunk before hello")
+                    chunk = unpack_chunk(payload)
+                    accepted, reason = session.offer(chunk)
+                    await send_json(
+                        {
+                            "op": "ack",
+                            "window_start": chunk.start,
+                            "n_windows": chunk.n_windows,
+                            "accepted": accepted,
+                            "shed_reason": reason,
+                            "queued_windows": session.queued_windows,
+                        }
+                    )
+            except ReproError as exc:
+                await send_json({"op": "error", "error": str(exc)})
+
+
+class ServiceRunner:
+    """Run a :class:`MonitorService` on a background thread.
+
+    Context manager used by the tests, the benchmark and
+    ``repro serve --selftest``: the service's event loop lives on a
+    daemon thread, the ``with`` body drives it through the blocking
+    :class:`~repro.serve.protocol.ServeClient`.
+    """
+
+    def __init__(self, service: MonitorService):
+        self.service = service
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._ready = threading.Event()
+        self._error: Optional[BaseException] = None
+
+    def _run(self) -> None:
+        self._loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(self._loop)
+        try:
+            self._loop.run_until_complete(self.service.start())
+        except BaseException as exc:  # surface bind failures to __enter__
+            self._error = exc
+            self._ready.set()
+            return
+        self._ready.set()
+        self._loop.run_forever()
+
+    def __enter__(self) -> "ServiceRunner":
+        self._thread = threading.Thread(
+            target=self._run, name="repro-serve", daemon=True
+        )
+        self._thread.start()
+        if not self._ready.wait(timeout=60):
+            raise AnalysisError("serve runner failed to start in 60 s")
+        if self._error is not None:
+            raise AnalysisError(f"serve runner failed: {self._error}")
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        if self._loop is None:
+            return
+        future = asyncio.run_coroutine_threadsafe(
+            self.service.stop(), self._loop
+        )
+        try:
+            future.result(timeout=60)
+        finally:
+            self._loop.call_soon_threadsafe(self._loop.stop)
+            self._thread.join(timeout=60)
+            self._loop.close()
+
+    @property
+    def port(self) -> int:
+        """The bound port."""
+        return int(self.service.port)
+
+    def client(self, timeout: float = 60.0):
+        """A blocking client bound to this instance."""
+        from .protocol import ServeClient
+
+        return ServeClient(
+            self.service.config.host, self.port, timeout=timeout
+        )

@@ -15,7 +15,7 @@ from typing import Callable, Dict, List, Sequence, Tuple
 
 from ..core.analysis.detector import DetectorConfig
 from ..detectors import available as detectors_available
-from ..errors import AnalysisError
+from ..errors import AnalysisError, unknown_name_error
 from ..workloads.campaign import StreamSegment
 from ..workloads.scenarios import reference_for, scenario_by_name
 
@@ -84,9 +84,8 @@ class SweepCell:
             )
         scenario_by_name(self.reference)
         if self.detector_name not in detectors_available():
-            raise AnalysisError(
-                f"unknown detector {self.detector_name!r}; available "
-                f"detectors: {', '.join(detectors_available())}"
+            raise unknown_name_error(
+                "detector", self.detector_name, detectors_available()
             )
         if not self.sensors:
             raise AnalysisError("cell needs at least one sensor")
@@ -372,7 +371,5 @@ GRIDS: Dict[str, Callable[[], SweepGrid]] = {
 def build_grid(name: str) -> SweepGrid:
     """Instantiate a named grid preset."""
     if name not in GRIDS:
-        raise AnalysisError(
-            f"unknown sweep grid {name!r}; expected one of {sorted(GRIDS)}"
-        )
+        raise unknown_name_error("sweep grid", name, sorted(GRIDS))
     return GRIDS[name]()

@@ -49,7 +49,7 @@ from ..core.analysis.localizer import QUADRANTS, Localizer
 from ..core.analysis.mttd import MttdModel
 from ..core.analysis.scanner import AdaptiveScanner
 from ..core.array import ProgrammableSensorArray
-from ..errors import AnalysisError
+from ..errors import AnalysisError, unknown_name_error
 from ..instruments.spectrum_analyzer import SpectrumAnalyzer
 from ..store import ArtifactStore, RecordCodec, chip_fingerprint
 from ..workloads.campaign import MeasurementCampaign
@@ -283,9 +283,8 @@ LOCALIZE_GRIDS: Dict[str, Callable[[], LocalizeGrid]] = {
 def build_localize_grid(name: str) -> LocalizeGrid:
     """Instantiate a named localization grid preset."""
     if name not in LOCALIZE_GRIDS:
-        raise AnalysisError(
-            f"unknown localization grid {name!r}; expected one of "
-            f"{sorted(LOCALIZE_GRIDS)}"
+        raise unknown_name_error(
+            "localization grid", name, sorted(LOCALIZE_GRIDS)
         )
     return LOCALIZE_GRIDS[name]()
 

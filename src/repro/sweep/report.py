@@ -13,7 +13,6 @@ plain-text tables the CLI prints.
 
 from __future__ import annotations
 
-import json
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
@@ -21,6 +20,7 @@ import numpy as np
 
 from ..core.analysis.mttd import MttdResult
 from ..errors import AnalysisError
+from ..report import ReportBase, Severity
 
 #: The paper's run-time budget: fewer than ten traces, under 10 ms.
 BUDGET_TRACES = 10
@@ -276,8 +276,13 @@ class LocalizeCellResult:
 
 
 @dataclass(frozen=True)
-class SweepReport:
+class SweepReport(ReportBase):
     """Results of one grid evaluation.
+
+    Renders through the shared :class:`~repro.report.ReportBase`
+    surface (``to_json``/``to_table``/severity rollups/bundles); the
+    JSON and table forms are byte-identical to the pre-``repro.report``
+    formatter.
 
     Attributes
     ----------
@@ -295,6 +300,28 @@ class SweepReport:
     grid: str
     trace_period_s: float
     cells: Tuple["SweepCellResult | LocalizeCellResult", ...]
+
+    report_kind = "sweep"
+
+    def severities(self):
+        """One severity per cell, evaluation semantics.
+
+        A sweep grades the detection flow, so the bad outcome is a
+        cell that *failed* its goal: a clean success is OK, a false
+        alarm (detection cells) or a partial hit-rate (localization
+        cells) is a WARNING, and an outright miss is CRITICAL.
+        """
+        for cell in self.cells:
+            if cell.success:
+                yield Severity.OK
+            elif isinstance(cell, SweepCellResult) and cell.mttd.false_alarm:
+                yield Severity.WARNING
+            elif (
+                isinstance(cell, LocalizeCellResult) and cell.hit_rate > 0.0
+            ):
+                yield Severity.WARNING
+            else:
+                yield Severity.CRITICAL
 
     @property
     def all_detected(self) -> bool:
@@ -360,10 +387,6 @@ class SweepReport:
             ),
             "cells": [cell.to_dict() for cell in self.cells],
         }
-
-    def to_json(self, indent: int = 2) -> str:
-        """Serialize the report to JSON."""
-        return json.dumps(self.to_dict(), indent=indent)
 
     def format(self) -> str:
         """Render the grid as the CLI's plain-text table(s).

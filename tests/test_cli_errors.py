@@ -33,6 +33,10 @@ def _run(argv, capsys):
             ("unknown detector", "persistence, spectral, welford"),
         ),
         (
+            ["serve", "--selftest", "--detector", "bogus"],
+            ("unknown detector", "persistence, spectral, welford"),
+        ),
+        (
             ["sweep", "--grid", "localize-smoke", "--detector", "spectral"],
             ("localization", "--detector"),
         ),
@@ -45,3 +49,17 @@ def test_unknown_names_exit_2_with_one_line_error(argv, expects, capsys):
     assert len(err.strip().splitlines()) == 1
     for fragment in expects:
         assert fragment in err
+
+
+def test_detector_error_text_identical_across_commands(capsys):
+    """sweep, monitor and serve share one friendly-error surface."""
+    texts = set()
+    for argv in (
+        ["sweep", "--grid", "detectors-smoke", "--detector", "bogus"],
+        ["monitor", "--detector", "bogus"],
+        ["serve", "--selftest", "--detector", "bogus"],
+    ):
+        code, err = _run(argv, capsys)
+        assert code == 2
+        texts.add(err)
+    assert len(texts) == 1

@@ -81,10 +81,48 @@ def test_shared_bus_keeps_per_session_event_counts():
     for chip in report.chips:
         counts = chip.report.event_counts
         assert counts["WindowProcessed"] == chip.report.n_windows
+        # Scheduler-emitted backpressure is not a pipeline decision.
+        assert "Backpressure" not in counts
     total = sum(
         sum(c.report.event_counts.values()) for c in report.chips
     )
-    assert total == bus.n_emitted
+    # The bus additionally carries the scheduler's own typed
+    # backpressure events; everything else is pipeline-emitted.
+    assert total + report.backpressure_events == bus.n_emitted
+    assert bus.counts.get("Backpressure", 0) == report.backpressure_events
+
+
+def test_queue_full_emits_typed_backpressure_not_silent_stall():
+    """The queue-full contract: a refused producer is announced.
+
+    The smoke preset scripts 3 chunks per member against a depth-2
+    queue, so the first render tick refuses every member's third
+    chunk — one typed ``Backpressure(action="stall")`` event each,
+    on the shared bus, with the refused chunk's start window.
+    """
+    from repro.runtime import Backpressure
+
+    bus = EventBus()
+    seen = []
+    bus.subscribe(
+        lambda event: seen.append(event)
+        if isinstance(event, Backpressure)
+        else None
+    )
+    report = build_fleet("smoke", n_chips=2, bus=bus, queue_depth=2).run()
+    assert report.backpressure_events == len(seen) == 2
+    assert {event.chip for event in seen} == {"chip0", "chip1"}
+    for event in seen:
+        assert event.action == "stall"
+        assert event.queue_depth == event.queue_len == 2
+        # The refused chunk is the third of three: the 6-window
+        # baseline splits 4+2 (chunks never span a segment), so the
+        # active-segment chunk at window 6 is the one stalled.
+        assert event.window == 6
+    # Stalling loses nothing: every member still processes its full
+    # stream and detects its Trojan.
+    assert report.all_detected
+    assert report.to_dict()["backpressure_events"] == 2
 
 
 def test_fleet_report_serializes(fleet_report):

@@ -1,0 +1,320 @@
+"""End-to-end tests of the ``repro serve`` monitoring service.
+
+The contract under test: a chip streamed through the service — HTTP
+replay upload or WebSocket push — produces the *same* session report
+and the *same* per-chip event transcript as running the offline
+:class:`~repro.runtime.pipeline.EscalationPipeline` on the same
+archive, bit for bit.  On top of that, overload must shed loudly
+(typed events, counted drops, acked refusals) and recover cleanly.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.config import SimConfig
+from repro.runtime.events import (
+    Backpressure,
+    EventBus,
+    Overload,
+    Shed,
+    read_events,
+)
+from repro.runtime.fleet import build_chip_monitor
+from repro.runtime.pipeline import EscalationPipeline
+from repro.runtime.presets import build_preset
+from repro.runtime.sources import ReplaySource, record_stream
+from repro.serve import (
+    MonitorService,
+    ServeConfig,
+    ServiceRunner,
+    pack_chunk,
+    unpack_chunk,
+)
+
+PRESET = build_preset("smoke")
+
+#: Typed events the service adds on top of the pipeline's own stream.
+_SERVICE_EVENTS = (Backpressure, Shed, Overload)
+
+
+@pytest.fixture(scope="module")
+def smoke_archive(tmp_path_factory):
+    """The smoke stream recorded once, replayed by every test."""
+    spec = PRESET.specs(1)[0]
+    monitor = build_chip_monitor(
+        spec, pipeline_config=PRESET.pipeline_config()
+    )
+    path = tmp_path_factory.mktemp("serve") / "smoke.npz"
+    record_stream(monitor.source, path)
+    return path
+
+
+def offline_reference(path, chip):
+    """The standalone pipeline's report + event transcript."""
+    source = ReplaySource(path, batch=4)
+    bus = EventBus()
+    events = []
+    bus.subscribe(events.append)
+    pipeline = EscalationPipeline(
+        SimConfig(),
+        n_streams=source.n_streams,
+        pipeline=PRESET.pipeline_config(),
+        localizer=None,
+        bus=bus,
+        chip=chip,
+    )
+    report = pipeline.run(source)
+    return report, events
+
+
+def chip_events(log_path, chip):
+    """One chip's pipeline events from the service's JSONL audit log."""
+    return [
+        event
+        for event in read_events(log_path)
+        if event.chip == chip and not isinstance(event, _SERVICE_EVENTS)
+    ]
+
+
+def wait_until(predicate, timeout=60.0, interval=0.05):
+    """Poll until ``predicate()`` is truthy (service-side settling)."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        value = predicate()
+        if value:
+            return value
+        time.sleep(interval)
+    raise AssertionError("condition not met within timeout")
+
+
+def test_chunk_wire_roundtrip(smoke_archive):
+    chunk = next(ReplaySource(smoke_archive, batch=4).chunks())
+    packed = pack_chunk(chunk)
+    back = unpack_chunk(packed)
+    assert back.start == chunk.start
+    assert back.fs == chunk.fs
+    assert back.scenarios == chunk.scenarios
+    assert back.trace_indices == chunk.trace_indices
+    assert back.labels == chunk.labels
+    assert back.samples.dtype == chunk.samples.dtype
+    assert np.array_equal(back.samples, chunk.samples)
+    # The framing itself is canonical: repack is byte-exact.
+    assert pack_chunk(back) == packed
+
+
+def test_http_replay_bit_identical_to_offline(smoke_archive, tmp_path):
+    log = tmp_path / "events.jsonl"
+    with ServiceRunner(
+        MonitorService(ServeConfig(events_path=log))
+    ) as runner:
+        client = runner.client()
+        status, report = client.post(
+            "/chips/repA/replay?batch=4", smoke_archive.read_bytes()
+        )
+        assert status == 200
+        # The report endpoint serves the same finalized snapshot.
+        status, again = client.get("/chips/repA/report")
+        assert status == 200
+        assert again == report
+        status, metrics = client.get("/metrics")
+        assert status == 200
+
+    reference, ref_events = offline_reference(smoke_archive, "repA")
+    assert report == json.loads(reference.to_json())
+    assert report["detected"] is True
+    assert chip_events(log, "repA") == ref_events
+
+    assert metrics["n_chips"] == 1
+    assert metrics["windows_total"] == ReplaySource(smoke_archive).n_windows
+    assert metrics["alarms_total"] >= 1
+    assert metrics["sheds_total"] == 0
+    assert metrics["overload_active"] is False
+    assert metrics["queued_windows"] == 0
+    (gauge,) = metrics["chips"]
+    assert gauge["chip"] == "repA"
+    assert gauge["kind"] == "replay"
+    assert gauge["done"] is True
+    assert gauge["alarms"] >= 1
+    assert gauge["mttd_ms"] == round(report["mttd"]["mttd_s"] * 1e3, 3)
+
+
+def test_ws_stream_bit_identical_to_offline(smoke_archive, tmp_path):
+    log = tmp_path / "events.jsonl"
+    source = ReplaySource(smoke_archive, batch=4)
+    chunks = list(source.chunks())
+    with ServiceRunner(
+        MonitorService(ServeConfig(events_path=log))
+    ) as runner:
+        ws = runner.client().websocket("/chips/wsA/ws")
+        ws.send_json(
+            {
+                "op": "hello",
+                "n_streams": source.n_streams,
+                "trigger_index": source.trigger_index,
+            }
+        )
+        assert ws.recv_json() == {"op": "hello", "chip": "wsA"}
+        for chunk in chunks:
+            ws.send(pack_chunk(chunk))
+            ack = ws.recv_json()
+            assert ack["accepted"] is True
+            assert ack["shed_reason"] is None
+            assert ack["window_start"] == chunk.start
+            assert ack["n_windows"] == chunk.n_windows
+        ws.send_json({"op": "metrics"})
+        midstream = ws.recv_json()
+        assert midstream["op"] == "metrics"
+        assert midstream["metrics"]["n_chips"] == 1
+        ws.send_json({"op": "end"})
+        reply = ws.recv_json()
+        assert reply["op"] == "report"
+        ws.close()
+
+    reference, ref_events = offline_reference(smoke_archive, "wsA")
+    assert reply["report"] == json.loads(reference.to_json())
+    assert chip_events(log, "wsA") == ref_events
+
+
+def test_ws_overload_sheds_and_recovers(smoke_archive):
+    source = ReplaySource(smoke_archive, batch=4)
+    chunks = list(source.chunks())
+    n_sent = sum(chunk.n_windows for chunk in chunks)
+    config = ServeConfig(
+        queue_depth=1, high_water_windows=3, drill_delay_s=0.25
+    )
+    with ServiceRunner(MonitorService(config)) as runner:
+        client = runner.client()
+        ws = client.websocket("/chips/load/ws")
+        ws.send_json(
+            {"op": "hello", "n_streams": source.n_streams}
+        )
+        ws.recv_json()
+        acks = []
+        for chunk in chunks:
+            ws.send(pack_chunk(chunk))
+            acks.append(ws.recv_json())
+
+        # The drill guarantees refused work: every refusal is acked
+        # with its reason, nothing stalls silently.
+        assert acks[0]["accepted"] is True
+        shed = [ack for ack in acks if not ack["accepted"]]
+        assert shed
+        assert all(
+            ack["shed_reason"] in ("overload", "queue-full")
+            for ack in shed
+        )
+        dropped = sum(ack["n_windows"] for ack in shed)
+
+        # Recovery: the backlog drains and overload clears.
+        def settled():
+            _, metrics = client.get("/metrics")
+            done = (
+                metrics["queued_windows"] == 0
+                and not metrics["overload_active"]
+            )
+            return metrics if done else None
+
+        metrics = wait_until(settled)
+        assert metrics["sheds_total"] == len(shed)
+        assert metrics["event_counts"]["Shed"] == len(shed)
+        assert metrics["event_counts"]["Backpressure"] == len(shed)
+        # Overload was entered and exited — both transitions audited.
+        assert metrics["event_counts"].get("Overload", 0) >= 2
+
+        # The client keeps its own numbering; the session rebases
+        # past the shed windows, so a fresh chunk is seamless.
+        fresh = replace(chunks[0], start=n_sent)
+        ws.send(pack_chunk(fresh))
+        ack = ws.recv_json()
+        assert ack["accepted"] is True
+        ws.send_json({"op": "end"})
+        report = ws.recv_json()
+        assert report["op"] == "report"
+        ws.close()
+
+        expected = n_sent - dropped + fresh.n_windows
+        assert report["report"]["n_windows"] == expected
+        _, listing = client.get("/chips")
+        (gauge,) = listing["chips"]
+        assert gauge["windows"] == expected
+        assert gauge["sheds"] == len(shed)
+        assert gauge["dropped_windows"] == dropped
+        assert gauge["done"] is True
+
+
+def test_live_onboarding_detects_and_localizes():
+    with ServiceRunner(MonitorService(ServeConfig())) as runner:
+        client = runner.client()
+        status, accepted = client.post(
+            "/chips/liveA/live",
+            json.dumps({"trojan": "T2"}).encode("utf-8"),
+            content_type="application/json",
+        )
+        assert status == 200
+        assert accepted["kind"] == "live"
+        assert accepted["trojan"] == "T2"
+        assert accepted["windows_scheduled"] == 10
+        assert accepted["trigger_index"] == 6
+
+        def finished():
+            _, listing = client.get("/chips")
+            (gauge,) = listing["chips"]
+            return gauge if gauge["done"] else None
+
+        gauge = wait_until(finished, timeout=300.0, interval=0.25)
+        assert gauge["windows"] == 10
+        status, report = client.get("/chips/liveA/report")
+        assert status == 200
+        assert report["detected"] is True
+        assert report["identification"]["label"] == "T2"
+        # A live source can re-measure, so escalation reaches LOCALIZE.
+        assert report["localization"] is not None
+
+
+def test_http_error_paths(smoke_archive):
+    with ServiceRunner(MonitorService(ServeConfig())) as runner:
+        client = runner.client()
+        status, body = client.get("/healthz")
+        assert status == 200
+        assert body["ok"] is True
+
+        status, body = client.get("/chips/nope/report")
+        assert status == 404
+        assert "unknown chip" in body["error"]
+
+        status, body = client.get("/no/such/route")
+        assert status == 404
+
+        status, body = client.post("/chips/bad$id/replay", b"x")
+        assert status == 400
+        assert "invalid chip id" in body["error"]
+
+        status, body = client.post("/chips/empty/replay", b"")
+        assert status == 400
+        assert "archive body" in body["error"]
+
+        status, body = client.post("/chips/garbage/replay", b"not an npz")
+        assert status == 400
+        assert "not a readable trace archive" in body["error"]
+
+        payload = smoke_archive.read_bytes()
+        status, _ = client.post("/chips/dup/replay?batch=4", payload)
+        assert status == 200
+        status, body = client.post("/chips/dup/replay?batch=4", payload)
+        assert status == 409
+        assert "already onboarded" in body["error"]
+
+
+def test_serve_selftest_cli(capsys, tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    code = main(["serve", "--selftest", "--no-store"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "serve selftest: OK" in out
